@@ -1,0 +1,26 @@
+"""Model factories shared by the benchmark files.
+
+Kept outside conftest.py so bench modules can import them by name
+(pytest puts this directory on sys.path for rootless test modules).
+"""
+
+from __future__ import annotations
+
+from repro.ml.svm.dagsvm import DagSvmClassifier
+from repro.ml.svm.kernels import RbfKernel
+from repro.ml.tree.cart import DecisionTreeClassifier
+
+#: Files per class for accuracy benches (paper: 2000/fold; see EXPERIMENTS.md).
+PER_CLASS = 60
+#: Corpus seed shared by all benches.
+SEED = 2009
+
+
+def make_svm(gamma: float = 50.0, C: float = 1000.0) -> DagSvmClassifier:
+    """The paper's selected model: DAGSVM, RBF gamma=50, C=1000."""
+    return DagSvmClassifier(C=C, kernel=RbfKernel(gamma=gamma))
+
+
+def make_cart() -> DecisionTreeClassifier:
+    """The paper's CART baseline."""
+    return DecisionTreeClassifier()

@@ -1,0 +1,64 @@
+"""Figure 10: packets-to-fill-buffer and total classifier delay.
+
+Paper: with the bimodal payload sizes, the average number of packets
+needed to fill the buffer is ~1 for b = 32 and 3-5 for kilobyte buffers up
+to 2000 B (panel a); the total delay tau = tau_hash + tau_CDB + tau_b is
+dominated by tau_b — ~50 ms for small buffers, around a second for big
+ones (panel b).
+"""
+
+import numpy as np
+
+from repro.core.delay import BufferingDelayModel
+from repro.experiments.reporting import format_series
+
+_BUFFERS = (32, 1024, 1500, 2000)
+
+
+def test_fig10_classifier_delay(benchmark, bench_trace):
+    models = {b: BufferingDelayModel(buffer_size=b) for b in _BUFFERS}
+    delays = {b: models[b].trace_delays(bench_trace) for b in _BUFFERS}
+
+    mean_c = {
+        b: float(np.mean([d.packets_to_fill for d in delays[b]]))
+        for b in _BUFFERS
+    }
+    mean_tau = {
+        b: float(np.mean([d.total for d in delays[b]])) for b in _BUFFERS
+    }
+
+    print()
+    print(format_series(
+        "Figure 10(a) — mean packets to fill buffer "
+        "[paper: c ~= 1 at b=32; 3-5 up to b=2000]",
+        "b", ["mean c"], [(b, round(mean_c[b], 2)) for b in _BUFFERS],
+    ))
+    print()
+    print(format_series(
+        "Figure 10(b) — mean total classifier delay "
+        "[paper: tau_b dominates; small buffers ~50 ms, large ~1 s]",
+        "b", ["mean tau (s)"],
+        [(b, round(mean_tau[b], 4)) for b in _BUFFERS],
+    ))
+
+    # Panel (a): c grows with b and starts near 1.
+    assert mean_c[32] < 1.8
+    assert mean_c[32] < mean_c[1024] <= mean_c[2000]
+    assert mean_c[2000] < 12.0
+    # Panel (b): tau is dominated by buffering and grows with b.
+    assert mean_tau[32] < mean_tau[2000]
+    hash_plus_cdb = models[32].hash_time + models[32].cdb_search_time
+    assert mean_tau[2000] > 10 * hash_plus_cdb
+
+    # Per-time-unit series (the paper's x-axis) for the largest buffer.
+    series = models[2000].time_series(bench_trace, bin_seconds=10.0)
+    points = [(round(t, 1), round(c, 2), round(tau, 4)) for t, c, tau in series]
+    print()
+    print(format_series(
+        "Figure 10 — per-time-unit series (b=2000)",
+        "t (s)", ["mean c", "mean tau (s)"], points,
+    ))
+
+    benchmark.pedantic(
+        lambda: models[1024].trace_delays(bench_trace), rounds=1, iterations=1
+    )

@@ -1,0 +1,72 @@
+"""Figure 5: entropy-vector calculation time and space vs buffer size.
+
+Paper (C++ on an AMD64): both time and space grow linearly in b; the
+b=32 configuration is ~10x faster and ~30x smaller per flow than b=1024.
+Absolute numbers differ in Python; the *shape* — linearity and the
+b=1024 : b=32 ratios — is what we reproduce.
+
+Space is modelled as the paper does for exact calculation: the flow
+buffer itself plus one counter per distinct observed k-gram (2-byte
+counters suffice for kilobyte buffers).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.accounting import exact_space_bytes
+from repro.core.entropy_vector import entropy_vector
+from repro.core.features import PHI_SVM_PRIME
+from repro.experiments.reporting import format_series
+
+_BUFFERS = (32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _space_bytes(buffer: bytes) -> int:
+    return exact_space_bytes(buffer, PHI_SVM_PRIME)
+
+
+def _time_seconds(buffer: bytes, repeats: int = 20) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        entropy_vector(buffer, PHI_SVM_PRIME)
+    return (time.perf_counter() - start) / repeats
+
+
+def test_fig5_calc_time_space(benchmark, bench_corpus):
+    sample = (bench_corpus.files[0].data * 8)[: max(_BUFFERS)]
+    times = []
+    spaces = []
+    for b in _BUFFERS:
+        buffer = sample[:b]
+        times.append(_time_seconds(buffer))
+        spaces.append(_space_bytes(buffer))
+
+    print()
+    points = [
+        (b, round(times[i] * 1e6, 1), spaces[i]) for i, b in enumerate(_BUFFERS)
+    ]
+    print(format_series(
+        "Figure 5 — entropy vector calculation cost "
+        "[paper: linear; b=1024 vs b=32 ~10x time, ~30x space]",
+        "b", ["time (us)", "space (B)"], points,
+    ))
+
+    idx32 = _BUFFERS.index(32)
+    idx1k = _BUFFERS.index(1024)
+    time_ratio = times[idx1k] / times[idx32]
+    space_ratio = spaces[idx1k] / spaces[idx32]
+    print(f"b=1024 / b=32 ratios: time {time_ratio:.1f}x [paper ~10x], "
+          f"space {space_ratio:.1f}x [paper ~30x]")
+
+    # Monotone growth in both resources.
+    assert all(b >= a for a, b in zip(spaces, spaces[1:]))
+    assert times[idx1k] > times[idx32]
+    # Ratios in the paper's ballpark (loose: Python constant factors).
+    assert 2.0 < time_ratio < 60.0
+    assert 10.0 < space_ratio < 40.0
+    # Space linearity: doubling b roughly doubles space once counters
+    # dominate (compare 1024 -> 2048).
+    assert 1.5 < spaces[_BUFFERS.index(2048)] / spaces[idx1k] < 2.5
+
+    benchmark(entropy_vector, sample[:1024], PHI_SVM_PRIME)

@@ -1,0 +1,90 @@
+"""Figure 6: H_F vs H_b vs H_b' training across buffer sizes.
+
+Paper: for both SVM (panel a) and CART (panel b), the three training
+methods perform similarly at matched buffer sizes — because a flow's byte
+distribution is stable across its content (Hypothesis 2) — with accuracy
+rising in b, and SVM up to ~10% above CART. With unknown application
+headers removed via threshold skipping, ~80% accuracy at b' = 1024.
+
+We sweep b for the three methods on both models and assert the
+near-equivalence and the b-monotonicity at the large end.
+"""
+
+import numpy as np
+
+from _helpers import PER_CLASS, SEED, make_cart, make_svm
+from repro.experiments.datasets import feature_matrix
+from repro.experiments.harness import run_cv_experiment
+from repro.experiments.reporting import format_series
+
+_BUFFERS = (32, 128, 512, 2048)
+_WIDTHS = (1, 2, 3, 5)
+_HEADER_T = 512
+
+
+def _cv_accuracy(factory, X, y):
+    return run_cv_experiment(factory, X, y, n_splits=5, seed=31).total_accuracy
+
+
+def test_fig6_training_methods(benchmark):
+    results = {("svm", m): [] for m in ("HF", "Hb", "Hb'")}
+    results.update({("cart", m): [] for m in ("HF", "Hb", "Hb'")})
+
+    X_whole, y = feature_matrix(widths=_WIDTHS, per_class=PER_CLASS, seed=SEED)
+    for b in _BUFFERS:
+        X_prefix, _ = feature_matrix(
+            widths=_WIDTHS, per_class=PER_CLASS, seed=SEED, prefix=b
+        )
+        X_offset, _ = feature_matrix(
+            widths=_WIDTHS, per_class=PER_CLASS, seed=SEED, prefix=b,
+            offset_cap=_HEADER_T,
+        )
+        for name, factory in (("svm", make_svm), ("cart", make_cart)):
+            # HF-trained model evaluated on what the flow classifier sees.
+            model = factory()
+            model.fit(X_whole, y)
+            results[(name, "HF")].append(float(np.mean(model.predict(X_prefix) == y)))
+            results[(name, "Hb")].append(_cv_accuracy(factory, X_prefix, y))
+            results[(name, "Hb'")].append(_cv_accuracy(factory, X_offset, y))
+
+    print()
+    for panel, name in (("a", "svm"), ("b", "cart")):
+        points = [
+            (
+                b,
+                round(results[(name, "HF")][i], 3),
+                round(results[(name, "Hb")][i], 3),
+                round(results[(name, "Hb'")][i], 3),
+            )
+            for i, b in enumerate(_BUFFERS)
+        ]
+        print(format_series(
+            f"Figure 6({panel}) — {name.upper()} accuracy by training method "
+            "[paper: methods close; larger b helps]",
+            "b", ["HF-based", "Hb-based", "Hb'-based"], points,
+        ))
+        print()
+
+    for name in ("svm", "cart"):
+        hb = results[(name, "Hb")]
+        hbp = results[(name, "Hb'")]
+        # Hb and Hb' converge as b grows (Hypothesis 2): a random window
+        # carries the same statistics as the prefix once it is large enough
+        # to wash out local structure. (At b=32 a random window misses the
+        # informative file header, so a gap there is expected.)
+        gaps = [abs(a - b_) for a, b_ in zip(hb, hbp)]
+        assert gaps[-1] < 0.08
+        assert gaps[-1] <= gaps[0] + 0.02
+        # Larger buffers do not hurt consistently: best large-b accuracy
+        # matches or beats the smallest buffer.
+        assert max(hb[-2:]) >= hb[0] - 0.03
+        # The paper's ~80% with unknown headers removed at b'=1024-ish.
+        assert hbp[-1] > 0.75
+
+    X_off, y_off = feature_matrix(
+        widths=_WIDTHS, per_class=PER_CLASS, seed=SEED, prefix=1024,
+        offset_cap=_HEADER_T,
+    )
+    benchmark.pedantic(
+        lambda: make_svm().fit(X_off, y_off), rounds=1, iterations=1
+    )

@@ -1,0 +1,49 @@
+"""Figure 9: payload-size and inter-arrival CDFs of the gateway trace.
+
+Paper (UMASS trace): bimodal packet sizes — "up to 20% of the packets have
+payload size of 1480 and more than 50% have payload size of less than 140
+bytes" — and packet inter-arrival times concentrated below one second.
+These marginals are what the synthetic generator is calibrated to, and
+they drive Figures 8 and 10.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import format_series
+
+
+def test_fig9a_payload_cdf(benchmark, bench_trace):
+    cdf = benchmark.pedantic(
+        bench_trace.payload_size_cdf, rounds=1, iterations=1
+    )
+    probe_sizes = (1, 50, 140, 500, 1000, 1479, 1480)
+    points = [(size, round(cdf(size), 3)) for size in probe_sizes]
+    print()
+    print(format_series(
+        "Figure 9(a) — payload size CDF "
+        "[paper: >50% under 140 B, ~20% mass at 1480 B]",
+        "payload (B)", ["P(size <= x)"], points,
+    ))
+    assert cdf(140) > 0.45
+    mass_at_mtu = 1.0 - cdf(1479)
+    assert mass_at_mtu > 0.10
+    assert cdf(1480) == 1.0
+
+
+def test_fig9b_inter_arrival_cdf(benchmark, bench_trace):
+    cdf = benchmark.pedantic(
+        bench_trace.inter_arrival_cdf, rounds=1, iterations=1
+    )
+    probes = (0.0001, 0.001, 0.01, 0.1, 0.5, 1.0)
+    points = [(x, round(cdf(x), 3)) for x in probes]
+    print()
+    print(format_series(
+        "Figure 9(b) — packet inter-arrival CDF "
+        "[paper: concentrated below 1 s]",
+        "gap (s)", ["P(gap <= x)"], points,
+    ))
+    assert cdf(1.0) > 0.9
+    assert cdf(0.0001) < 0.9  # not degenerate
+    mean_gap = bench_trace.mean_inter_arrival()
+    print(f"mean inter-arrival: {mean_gap * 1e3:.2f} ms "
+          f"(paper's trace: {1e6 / 146714:.1f} us at 146k pkt/s)")

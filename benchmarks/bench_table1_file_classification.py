@@ -1,0 +1,64 @@
+"""Table 1: file classification using h1..h10 — CART vs SVM-RBF.
+
+Paper (10-fold CV, 6000 files/fold):
+
+    CART:     total 79.2% (text 79.9 / binary 79.3 / encrypted 78.3)
+    SVM-RBF:  total 86.5% (text 78.7 / binary 84.1 / encrypted 96.8)
+
+with binary <-> encrypted the dominant confusion. We reproduce the full
+accuracy + misclassification layout at reduced scale and assert the
+orderings (SVM >= CART overall; encrypted is SVM's best class).
+"""
+
+import numpy as np
+
+from _helpers import make_cart, make_svm
+from repro.core.labels import ALL_NATURES, BINARY, ENCRYPTED, TEXT
+from repro.experiments.harness import run_cv_experiment
+from repro.experiments.reporting import format_table
+
+
+def _report_rows(report):
+    rows = []
+    for nature in ALL_NATURES:
+        row = [str(nature), f"{report.class_accuracy[nature]:.1%}"]
+        for other in ALL_NATURES:
+            if other == nature:
+                row.append("-")
+            else:
+                row.append(f"{report.misclassified_as(nature, other):.1%}")
+        rows.append(row)
+    return rows
+
+
+def test_table1(benchmark, hf_features):
+    X, y = hf_features
+    cart = run_cv_experiment(make_cart, X, y, n_splits=10, seed=2)
+    svm = run_cv_experiment(make_svm, X, y, n_splits=10, seed=2)
+
+    print()
+    headers = ["class", "accuracy", "-> text", "-> binary", "-> encrypted"]
+    print(format_table(
+        f"Table 1 (CART) — total {cart.total_accuracy:.1%} [paper 79.2%]",
+        headers, _report_rows(cart),
+    ))
+    print()
+    print(format_table(
+        f"Table 1 (SVM-RBF g=50 C=1000) — total {svm.total_accuracy:.1%} "
+        "[paper 86.5%]",
+        headers, _report_rows(svm),
+    ))
+
+    # Paper's orderings.
+    assert svm.total_accuracy >= cart.total_accuracy - 0.02
+    assert svm.class_accuracy[ENCRYPTED] == max(svm.class_accuracy.values())
+    # Binary's main confusion is with encrypted, not text-vs-encrypted.
+    assert (
+        svm.misclassified_as(BINARY, ENCRYPTED)
+        >= svm.misclassified_as(TEXT, ENCRYPTED) - 0.02
+    )
+
+    # Benchmark: one SVM training run (the expensive half of the table).
+    benchmark.pedantic(
+        lambda: make_svm().fit(X, y), rounds=1, iterations=1
+    )

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench reproduces one table or figure of the paper and prints it in
+the paper's layout (via ``repro.experiments.reporting``) alongside the
+timing that pytest-benchmark records. Scales are reduced relative to the
+paper (see EXPERIMENTS.md); the shared corpus/trace parameters live in
+``_helpers`` so every bench draws from the same cached datasets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _helpers import PER_CLASS, SEED
+from repro.experiments.datasets import feature_matrix, standard_corpus, standard_trace
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The shared benchmark corpus (60 files/class, 2-16 KB)."""
+    return standard_corpus(per_class=PER_CLASS, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def hf_features():
+    """(X, y): whole-file entropy vectors h1..h10 (the paper's H_F setup)."""
+    return feature_matrix(
+        widths=tuple(range(1, 11)), per_class=PER_CLASS, seed=SEED
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """The shared gateway trace (800 flows, 80 s, no app headers)."""
+    return standard_trace(n_flows=800, duration=80.0, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def header_bench_trace():
+    """Gateway trace where half the flows start with an app header."""
+    return standard_trace(
+        n_flows=400, duration=80.0, seed=SEED + 1, app_header_probability=0.5
+    )

@@ -1,0 +1,98 @@
+"""Iustitia: high-speed flow nature identification (ICDCS 2009 reproduction).
+
+Classifies network flows as **text**, **binary**, or **encrypted** from the
+entropy vector of their first bytes, following Khakpour & Liu, *"Iustitia:
+An Information Theoretical Approach to High-speed Flow Nature
+Identification"*, ICDCS 2009.
+
+Quickstart::
+
+    from repro import IustitiaClassifier, IustitiaEngine, build_corpus
+    from repro import generate_gateway_trace
+
+    corpus = build_corpus(per_class=100, seed=7)
+    clf = IustitiaClassifier(model="svm", buffer_size=32).fit_corpus(corpus)
+    engine = IustitiaEngine(clf)
+    stats = engine.process_trace(generate_gateway_trace())
+    print(stats.classifications, engine.evaluate_against(trace))
+
+Subpackages: ``repro.core`` (entropy vectors, estimation, classifier,
+CDB, pipeline), ``repro.ml`` (CART, SVM/SMO/DAGSVM), ``repro.streaming``
+(AMS / stream-entropy estimation), ``repro.net`` (packets, flows, pcap,
+trace generation), ``repro.data`` (synthetic corpus), ``repro.analysis``
+(KL/JSD divergences), ``repro.experiments`` (benchmark harness).
+"""
+
+from repro.analysis import jensen_shannon_divergence, kl_divergence
+from repro.core import (
+    BINARY,
+    ENCRYPTED,
+    TEXT,
+    ClassificationDatabase,
+    EntropyEstimator,
+    EntropyVector,
+    FeatureSet,
+    FlowNature,
+    IustitiaClassifier,
+    IustitiaConfig,
+    IustitiaEngine,
+    TrainingMethod,
+    entropy_vector,
+    kgram_entropy,
+)
+from repro.core.features import (
+    FULL_FEATURES,
+    PHI_CART,
+    PHI_CART_PRIME,
+    PHI_SVM,
+    PHI_SVM_PRIME,
+)
+from repro.data import Corpus, LabeledFile, build_corpus
+from repro.ml import DagSvmClassifier, DecisionTreeClassifier
+from repro.net import (
+    FlowKey,
+    GatewayTraceConfig,
+    Packet,
+    Trace,
+    generate_gateway_trace,
+    read_pcap,
+    write_pcap,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BINARY",
+    "Corpus",
+    "ClassificationDatabase",
+    "DagSvmClassifier",
+    "DecisionTreeClassifier",
+    "ENCRYPTED",
+    "EntropyEstimator",
+    "EntropyVector",
+    "FULL_FEATURES",
+    "FeatureSet",
+    "FlowKey",
+    "FlowNature",
+    "GatewayTraceConfig",
+    "IustitiaClassifier",
+    "IustitiaConfig",
+    "IustitiaEngine",
+    "LabeledFile",
+    "PHI_CART",
+    "PHI_CART_PRIME",
+    "PHI_SVM",
+    "PHI_SVM_PRIME",
+    "Packet",
+    "TEXT",
+    "Trace",
+    "TrainingMethod",
+    "build_corpus",
+    "entropy_vector",
+    "generate_gateway_trace",
+    "jensen_shannon_divergence",
+    "kgram_entropy",
+    "kl_divergence",
+    "read_pcap",
+    "write_pcap",
+]

@@ -1,0 +1,132 @@
+"""Empirical k-gram distributions and CDFs.
+
+Supports the paper's Hypothesis-2 validation (Figure 3): compare the k-gram
+probability distribution of the first ``b`` bytes of a file against the
+distribution of the entire file, via Jensen-Shannon divergence.
+
+The k-gram counting here works over *observed* elements only: the paper's
+element sets ``f_k`` have ``2^(8k)`` members, but a distribution comparison
+only needs the union of the supports of the two distributions, so we align
+the two count maps on the union of observed k-grams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.divergence import jensen_shannon_divergence
+
+__all__ = [
+    "EmpiricalCdf",
+    "aligned_distributions",
+    "kgram_distribution",
+    "prefix_whole_jsd",
+]
+
+
+def kgram_distribution(data: bytes, k: int) -> dict[bytes, float]:
+    """Empirical probability of each observed k-gram in ``data``.
+
+    Returns a mapping ``k-gram -> probability``; probabilities sum to 1.
+    ``data`` must contain at least ``k`` bytes.
+    """
+    # Imported lazily: repro.core pulls repro.net which pulls this module,
+    # so a top-level import would be circular at package-init time.
+    from repro.core.entropy import kgram_counts
+
+    grams, counts = kgram_counts(data, k)
+    total = counts.sum()
+    return {gram: count / total for gram, count in zip(grams, counts.tolist())}
+
+
+def aligned_distributions(
+    p: dict[bytes, float], q: dict[bytes, float]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Align two sparse distributions on the union of their supports.
+
+    Returns two dense probability vectors of equal length, indexed by the
+    sorted union of keys, suitable for divergence computations.
+    """
+    support = sorted(set(p) | set(q))
+    vec_p = np.array([p.get(key, 0.0) for key in support], dtype=np.float64)
+    vec_q = np.array([q.get(key, 0.0) for key in support], dtype=np.float64)
+    return vec_p, vec_q
+
+
+def prefix_whole_jsd(
+    data: bytes, portion: float, k: int = 1, base: float = 2.0
+) -> float:
+    """JSD between the k-gram distribution of a prefix and the whole file.
+
+    ``portion`` is the fraction of the file used as the prefix, in
+    ``(0, 1]``. The prefix is ``max(k, round(portion * len(data)))`` bytes so
+    that at least one k-gram exists.
+
+    The default base 2 bounds the divergence in ``[0, 1]`` — matching the
+    unit-height axis of the paper's Figure 3. (A base of ``256**k`` would
+    cap JSD at ``1/(8k)``, far below the plotted curves, so the figure's
+    "element/symbol" label can only refer to the *distributions*, not the
+    logarithm base.)
+    """
+    if not 0.0 < portion <= 1.0:
+        raise ValueError(f"portion must be in (0, 1], got {portion}")
+    if len(data) < k:
+        raise ValueError(f"need at least k={k} bytes, got {len(data)}")
+    prefix_len = max(k, round(portion * len(data)))
+    prefix = data[:prefix_len]
+    dist_prefix = kgram_distribution(prefix, k)
+    dist_whole = kgram_distribution(data, k)
+    vec_p, vec_q = aligned_distributions(dist_prefix, dist_whole)
+    return jensen_shannon_divergence(vec_p, vec_q, base=base)
+
+
+@dataclass(frozen=True)
+class EmpiricalCdf:
+    """Empirical cumulative distribution function of a 1-D sample.
+
+    Used to reproduce Figure 9 (payload-size and inter-arrival-time CDFs of
+    the gateway trace). ``values`` are the sorted sample points and
+    ``probabilities`` the corresponding cumulative probabilities.
+    """
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    @classmethod
+    def from_samples(cls, samples: "np.ndarray | list[float]") -> "EmpiricalCdf":
+        """Build the ECDF of ``samples`` (must be non-empty)."""
+        arr = np.asarray(samples, dtype=np.float64).ravel()
+        if arr.size == 0:
+            raise ValueError("samples must be non-empty")
+        ordered = np.sort(arr)
+        probs = np.arange(1, ordered.size + 1, dtype=np.float64) / ordered.size
+        return cls(values=ordered, probabilities=probs)
+
+    def __call__(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution."""
+        idx = int(np.searchsorted(self.values, x, side="right"))
+        if idx == 0:
+            return 0.0
+        return float(self.probabilities[idx - 1])
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value ``v`` with ``P(X <= v) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if q == 0.0:
+            return float(self.values[0])
+        idx = int(np.searchsorted(self.probabilities, q, side="left"))
+        idx = min(idx, self.values.size - 1)
+        return float(self.values[idx])
+
+    def series(self, points: int = 50) -> list[tuple[float, float]]:
+        """Downsampled (value, cumulative-probability) pairs for reporting."""
+        if points < 2:
+            raise ValueError("points must be >= 2")
+        idx = np.linspace(0, self.values.size - 1, num=points).round().astype(int)
+        idx = np.unique(idx)
+        return [
+            (float(self.values[i]), float(self.probabilities[i])) for i in idx
+        ]

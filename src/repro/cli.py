@@ -1,0 +1,178 @@
+"""Command-line interface: generate traffic, train, classify pcaps.
+
+Subcommands::
+
+    python -m repro.cli gen-trace  out.pcap [--flows N] [--seed S]
+                                   [--labels labels.json] [--headers P]
+    python -m repro.cli train      model.json [--model svm|cart]
+                                   [--buffer B] [--per-class N] [--seed S]
+    python -m repro.cli classify   model.json capture.pcap
+                                   [--labels labels.json] [--json out.json]
+
+``gen-trace`` writes a synthetic gateway trace as a classic pcap plus an
+optional ground-truth label file; ``train`` builds a classifier from a
+synthetic corpus and saves it as JSON (no pickle: models loaded at a
+network boundary must not execute code); ``classify`` runs the online
+engine over a pcap, printing one line per classified flow and, when
+ground truth is supplied, an accuracy report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.classifier import IustitiaClassifier
+from repro.core.config import IustitiaConfig
+from repro.core.labels import FlowNature
+from repro.core.pipeline import IustitiaEngine
+from repro.data.corpus import build_corpus
+from repro.ml.persistence import load_classifier, save_classifier
+from repro.net.flow import FlowKey
+from repro.net.pcap import read_pcap, write_pcap
+from repro.net.trace import Trace
+from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
+
+__all__ = ["main"]
+
+
+def _key_to_str(key: FlowKey) -> str:
+    return f"{key.src}:{key.src_port}>{key.dst}:{key.dst_port}/{key.protocol}"
+
+
+def _str_to_key(text: str) -> FlowKey:
+    endpoints, protocol = text.rsplit("/", 1)
+    src_part, dst_part = endpoints.split(">")
+    src, src_port = src_part.rsplit(":", 1)
+    dst, dst_port = dst_part.rsplit(":", 1)
+    return FlowKey(
+        src=src, src_port=int(src_port), dst=dst, dst_port=int(dst_port),
+        protocol=int(protocol),
+    )
+
+
+def _cmd_gen_trace(args: argparse.Namespace) -> int:
+    config = GatewayTraceConfig(
+        n_flows=args.flows,
+        duration=args.duration,
+        seed=args.seed,
+        app_header_probability=args.headers,
+    )
+    trace = generate_gateway_trace(config)
+    write_pcap(args.output, trace.packets)
+    print(f"wrote {len(trace)} packets / {len(trace.labels)} flows to {args.output}")
+    if args.labels:
+        payload = {
+            _key_to_str(key): str(nature) for key, nature in trace.labels.items()
+        }
+        with open(args.labels, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote ground truth to {args.labels}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    print(f"building corpus ({args.per_class} files/class, seed {args.seed})...")
+    corpus = build_corpus(per_class=args.per_class, seed=args.seed)
+    classifier = IustitiaClassifier(model=args.model, buffer_size=args.buffer)
+    classifier.fit_corpus(corpus)
+    save_classifier(classifier, args.output)
+    training_accuracy = classifier.score_files(
+        [f.data for f in corpus], [f.nature for f in corpus]
+    )
+    print(f"trained {args.model} (b={args.buffer}); "
+          f"training accuracy {training_accuracy:.1%}; saved to {args.output}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    try:
+        classifier = load_classifier(args.model)
+    except (ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"error: {args.model} is not a saved classifier: {exc}",
+              file=sys.stderr)
+        return 2
+
+    labels: dict[FlowKey, FlowNature] = {}
+    if args.labels:
+        with open(args.labels) as handle:
+            raw = json.load(handle)
+        labels = {
+            _str_to_key(text): FlowNature.from_name(name)
+            for text, name in raw.items()
+        }
+
+    trace = Trace(packets=read_pcap(args.pcap), labels=labels)
+    engine = IustitiaEngine(
+        classifier, IustitiaConfig(buffer_size=classifier.buffer_size)
+    )
+    stats = engine.process_trace(trace)
+
+    results = []
+    for outcome in stats.classified:
+        results.append({
+            "flow": _key_to_str(outcome.key),
+            "nature": str(outcome.label),
+            "classified_at": round(outcome.classified_at, 6),
+            "buffered_bytes": outcome.buffered_bytes,
+        })
+        if not args.json:
+            print(f"{results[-1]['flow']:50s} -> {results[-1]['nature']}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"wrote {len(results)} flow labels to {args.json}")
+
+    print(f"packets {stats.packets}, flows classified {stats.classifications}, "
+          f"cdb hits {stats.cdb_hits}, unclassifiable {stats.unclassifiable}")
+    if labels:
+        report = engine.evaluate_against(trace)
+        print("accuracy vs ground truth: "
+              + ", ".join(f"{k}={v:.1%}" for k, v in report.items()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Iustitia flow-nature identification"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen-trace", help="generate a synthetic gateway pcap")
+    gen.add_argument("output", help="pcap path to write")
+    gen.add_argument("--flows", type=int, default=300)
+    gen.add_argument("--duration", type=float, default=60.0)
+    gen.add_argument("--seed", type=int, default=2009)
+    gen.add_argument("--headers", type=float, default=0.0,
+                     help="probability a flow starts with an app header")
+    gen.add_argument("--labels", help="JSON path for ground-truth labels")
+    gen.set_defaults(func=_cmd_gen_trace)
+
+    train = sub.add_parser("train", help="train and save a classifier (JSON)")
+    train.add_argument("output", help="model JSON path")
+    train.add_argument("--model", choices=("svm", "cart"), default="svm")
+    train.add_argument("--buffer", type=int, default=32)
+    train.add_argument("--per-class", type=int, default=80)
+    train.add_argument("--seed", type=int, default=2009)
+    train.set_defaults(func=_cmd_train)
+
+    classify = sub.add_parser("classify", help="classify flows in a pcap")
+    classify.add_argument("model", help="model JSON from 'train'")
+    classify.add_argument("pcap", help="capture to classify")
+    classify.add_argument("--labels", help="ground-truth JSON from 'gen-trace'")
+    classify.add_argument("--json", help="write per-flow results to this path")
+    classify.set_defaults(func=_cmd_classify)
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Iustitia core: entropy vectors, estimation, classification, and the
+online flow-classification pipeline (Figure 1 of the paper)."""
+
+from repro.core.accounting import (
+    distinct_counters,
+    estimation_space_bytes,
+    exact_space_bytes,
+)
+from repro.core.cdb import CdbRecord, ClassificationDatabase
+from repro.core.classifier import IustitiaClassifier, TrainingMethod
+from repro.core.config import IustitiaConfig
+from repro.core.entropy import (
+    byte_entropy,
+    kgram_counts,
+    kgram_entropy,
+    max_normalized_entropy,
+)
+from repro.core.entropy_vector import (
+    EntropyVector,
+    entropy_vector,
+    entropy_vector_estimated,
+)
+from repro.core.estimation import (
+    EntropyEstimator,
+    EstimationBudget,
+    estimate_hk,
+    feature_set_coefficient,
+)
+from repro.core.features import (
+    FEATURE_SETS,
+    FULL_FEATURES,
+    PHI_CART,
+    PHI_CART_PRIME,
+    PHI_SVM,
+    PHI_SVM_PRIME,
+    FeatureSet,
+)
+from repro.core.feature_selection import (
+    cart_voting_selection,
+    sequential_forward_selection,
+)
+from repro.core.headers import (
+    APP_HEADER_SIGNATURES,
+    detect_app_protocol,
+    strip_app_header,
+)
+from repro.core.labels import BINARY, ENCRYPTED, TEXT, FlowNature
+from repro.core.pipeline import IustitiaEngine, PipelineStats
+from repro.core.delay import BufferingDelayModel, DelayBreakdown
+
+__all__ = [
+    "APP_HEADER_SIGNATURES",
+    "BINARY",
+    "BufferingDelayModel",
+    "CdbRecord",
+    "ClassificationDatabase",
+    "DelayBreakdown",
+    "ENCRYPTED",
+    "EntropyEstimator",
+    "EntropyVector",
+    "EstimationBudget",
+    "FEATURE_SETS",
+    "FULL_FEATURES",
+    "FeatureSet",
+    "FlowNature",
+    "IustitiaClassifier",
+    "IustitiaConfig",
+    "IustitiaEngine",
+    "PHI_CART",
+    "PHI_CART_PRIME",
+    "PHI_SVM",
+    "PHI_SVM_PRIME",
+    "PipelineStats",
+    "TEXT",
+    "TrainingMethod",
+    "byte_entropy",
+    "cart_voting_selection",
+    "detect_app_protocol",
+    "distinct_counters",
+    "entropy_vector",
+    "estimation_space_bytes",
+    "exact_space_bytes",
+    "entropy_vector_estimated",
+    "estimate_hk",
+    "feature_set_coefficient",
+    "kgram_counts",
+    "kgram_entropy",
+    "max_normalized_entropy",
+    "sequential_forward_selection",
+    "strip_app_header",
+]

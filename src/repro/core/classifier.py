@@ -1,0 +1,168 @@
+"""The Iustitia classifier: entropy-vector feature extraction + ML model.
+
+Binds together a feature set, a training method (Section 4.3's three
+options), and one of the two classification models:
+
+* ``model="svm"`` — DAGSVM over RBF-kernel binary SVMs (gamma=50, C=1000
+  by default; the paper's selected model);
+* ``model="cart"`` — a CART decision tree.
+
+Training data is a corpus of labelled files; classification operates on
+raw byte buffers (a flow's buffered payload or a file prefix).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.core.entropy_vector import (
+    entropy_vector,
+    prefix_vector,
+    random_offset_vector,
+)
+from repro.core.estimation import EntropyEstimator
+from repro.core.features import PHI_SVM_PRIME, FeatureSet
+from repro.core.labels import FlowNature
+from repro.ml.svm.dagsvm import DagSvmClassifier
+from repro.ml.svm.kernels import RbfKernel
+from repro.ml.tree.cart import DecisionTreeClassifier
+
+__all__ = ["IustitiaClassifier", "TrainingMethod"]
+
+
+class TrainingMethod(enum.Enum):
+    """How training vectors are extracted from training files (Section 4.3)."""
+
+    #: ``H_F``: the entire file content.
+    WHOLE_FILE = "whole_file"
+    #: ``H_b``: the first ``b`` bytes of the file.
+    FIRST_B = "first_b"
+    #: ``H_b'``: ``b`` bytes at a random offset in ``[0, T]``.
+    RANDOM_OFFSET = "random_offset"
+
+
+class IustitiaClassifier:
+    """File/flow-nature classifier over entropy vectors."""
+
+    def __init__(
+        self,
+        model: str = "svm",
+        feature_set: FeatureSet = PHI_SVM_PRIME,
+        buffer_size: int = 32,
+        training: TrainingMethod = TrainingMethod.FIRST_B,
+        header_threshold: int = 0,
+        gamma: float = 50.0,
+        C: float = 1000.0,
+        estimator: "EntropyEstimator | None" = None,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        if model not in ("svm", "cart"):
+            raise ValueError(f"model must be 'svm' or 'cart', got {model!r}")
+        if buffer_size < feature_set.max_width:
+            raise ValueError(
+                f"buffer_size {buffer_size} cannot hold the widest feature "
+                f"h_{feature_set.max_width}"
+            )
+        if header_threshold < 0:
+            raise ValueError(f"header_threshold must be >= 0, got {header_threshold}")
+        if estimator is not None and estimator.features is not feature_set:
+            raise ValueError(
+                "estimator's feature set must be the classifier's feature set"
+            )
+        self.model_kind = model
+        self.feature_set = feature_set
+        self.buffer_size = buffer_size
+        self.training = training
+        self.header_threshold = header_threshold
+        self.estimator = estimator
+        self._rng = rng if rng is not None else np.random.default_rng()
+        if model == "svm":
+            self._model: "DagSvmClassifier | DecisionTreeClassifier" = (
+                DagSvmClassifier(C=C, kernel=RbfKernel(gamma=gamma))
+            )
+        else:
+            self._model = DecisionTreeClassifier()
+
+    # -- feature extraction --------------------------------------------------
+
+    def _training_vector(self, data: bytes) -> np.ndarray:
+        if self.training == TrainingMethod.WHOLE_FILE:
+            return entropy_vector(data, self.feature_set).values
+        if self.training == TrainingMethod.FIRST_B:
+            return prefix_vector(data, self.buffer_size, self.feature_set).values
+        return random_offset_vector(
+            data,
+            self.buffer_size,
+            self.header_threshold,
+            self._rng,
+            self.feature_set,
+        ).values
+
+    def buffer_vector(self, buffer: bytes) -> np.ndarray:
+        """Classification-time entropy vector of a flow buffer.
+
+        Uses the ``(delta, epsilon)`` estimator when one was supplied,
+        exact calculation otherwise. The buffer is truncated to
+        ``buffer_size`` bytes first (an online classifier never sees more).
+        """
+        window = bytes(buffer[: self.buffer_size])
+        if len(window) < self.feature_set.max_width:
+            raise ValueError(
+                f"buffer of {len(window)} bytes cannot hold feature "
+                f"h_{self.feature_set.max_width}"
+            )
+        if self.estimator is not None:
+            return self.estimator.estimate_vector(window).values
+        return entropy_vector(window, self.feature_set).values
+
+    # -- training / inference ------------------------------------------------
+
+    def fit_files(self, files, labels) -> "IustitiaClassifier":
+        """Train on an iterable of byte blobs with aligned nature labels."""
+        data_list = list(files)
+        label_list = [FlowNature(l) for l in labels]
+        if len(data_list) != len(label_list):
+            raise ValueError(
+                f"{len(data_list)} files but {len(label_list)} labels"
+            )
+        if not data_list:
+            raise ValueError("training set must be non-empty")
+        X = np.vstack([self._training_vector(bytes(d)) for d in data_list])
+        y = np.array([int(l) for l in label_list], dtype=np.int64)
+        self._model.fit(X, y)
+        return self
+
+    def fit_corpus(self, corpus) -> "IustitiaClassifier":
+        """Train on a :class:`repro.data.corpus.Corpus` (or list of LabeledFile)."""
+        files = list(corpus)
+        return self.fit_files(
+            [f.data for f in files], [f.nature for f in files]
+        )
+
+    def predict_vectors(self, X) -> np.ndarray:
+        """Predict natures from pre-extracted entropy vectors."""
+        predictions = self._model.predict(np.asarray(X, dtype=np.float64))
+        return np.array([FlowNature(int(p)) for p in predictions], dtype=object)
+
+    def classify_buffer(self, buffer: bytes) -> FlowNature:
+        """Nature of a flow from its buffered payload."""
+        vector = self.buffer_vector(buffer).reshape(1, -1)
+        return FlowNature(int(self._model.predict(vector)[0]))
+
+    def classify_file(self, data: bytes) -> FlowNature:
+        """Nature of a file from its first ``buffer_size`` bytes."""
+        return self.classify_buffer(bytes(data))
+
+    def score_files(self, files, labels) -> float:
+        """Mean accuracy classifying each file's first ``buffer_size`` bytes."""
+        data_list = list(files)
+        label_list = [FlowNature(l) for l in labels]
+        if len(data_list) != len(label_list):
+            raise ValueError(f"{len(data_list)} files but {len(label_list)} labels")
+        correct = sum(
+            self.classify_file(bytes(d)) == l
+            for d, l in zip(data_list, label_list)
+        )
+        return correct / len(data_list)

@@ -1,0 +1,76 @@
+"""Configuration of the online Iustitia pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.features import PHI_SVM_PRIME, FeatureSet
+
+__all__ = ["IustitiaConfig"]
+
+
+@dataclass(frozen=True)
+class IustitiaConfig:
+    """Knobs of :class:`repro.core.pipeline.IustitiaEngine`.
+
+    Defaults follow the paper's headline configuration: a 32-byte buffer
+    classified with exact entropy vectors over the memory-preferred SVM
+    feature set, known application headers stripped, unknown headers
+    handled by threshold skipping when ``header_threshold > 0``.
+    """
+
+    #: Payload bytes buffered per new flow before classification (``b``).
+    buffer_size: int = 32
+    #: Entropy features extracted from the buffer.
+    feature_set: FeatureSet = PHI_SVM_PRIME
+    #: Maximum unknown-application-header bytes to skip (``T``; 0 = none).
+    header_threshold: int = 0
+    #: Strip known HTTP/SMTP/POP3/IMAP headers before classification.
+    strip_known_headers: bool = True
+    #: Use the (delta, epsilon)-approximation instead of exact calculation.
+    use_estimation: bool = False
+    #: Estimator parameters (only meaningful when ``use_estimation``).
+    epsilon: float = 0.25
+    delta: float = 0.75
+    #: CDB purging coefficient ``n`` (paper's optimum: 4).
+    purge_coefficient: float = 4.0
+    #: Inserts between CDB inactivity sweeps (paper: 5000).
+    purge_trigger_flows: int = 5000
+    #: Give up and classify a partial buffer after this inactivity (seconds).
+    buffer_timeout: float = 10.0
+    #: Section 4.6 defense 1: skip a per-flow uniform-random number of
+    #: bytes in ``[0, random_skip_max]`` before classification, so an
+    #: attacker cannot know which bytes the classifier will examine
+    #: (0 disables).
+    random_skip_max: int = 0
+    #: Section 4.6 defense 2: a CDB hit on a record older than this many
+    #: seconds deletes the record, forcing reclassification from the
+    #: flow's current bytes (0 disables).
+    reclassify_interval: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.buffer_size < self.feature_set.max_width:
+            raise ValueError(
+                f"buffer_size {self.buffer_size} cannot hold the widest "
+                f"feature h_{self.feature_set.max_width}"
+            )
+        if self.header_threshold < 0:
+            raise ValueError(
+                f"header_threshold must be >= 0, got {self.header_threshold}"
+            )
+        if self.use_estimation and not 0 < self.epsilon:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.use_estimation and not 0 < self.delta < 1:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.buffer_timeout <= 0:
+            raise ValueError(
+                f"buffer_timeout must be positive, got {self.buffer_timeout}"
+            )
+        if self.random_skip_max < 0:
+            raise ValueError(
+                f"random_skip_max must be >= 0, got {self.random_skip_max}"
+            )
+        if self.reclassify_interval < 0:
+            raise ValueError(
+                f"reclassify_interval must be >= 0, got {self.reclassify_interval}"
+            )

@@ -1,0 +1,141 @@
+"""Entropy vectors: H_F, H_b, and H_b' extraction (Sections 3.1 and 4.3).
+
+An entropy vector of a byte sequence is the vector ``<h_k : k in widths>``
+of normalized k-gram entropies. The paper distinguishes three ways to take
+the bytes the vector is computed from:
+
+* ``H_F``  — the whole file.
+* ``H_b``  — the first ``b`` bytes (what an online classifier sees once its
+  flow buffer fills).
+* ``H_b'`` — ``b`` consecutive bytes starting at a random offset in
+  ``[0, T]``, modelling an unknown application-layer header of at most
+  ``T`` bytes that has been (approximately) skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.entropy import kgram_entropy
+from repro.core.features import FULL_FEATURES, FeatureSet
+
+__all__ = [
+    "EntropyVector",
+    "entropy_vector",
+    "entropy_vector_estimated",
+    "prefix_vector",
+    "random_offset_vector",
+]
+
+
+@dataclass(frozen=True)
+class EntropyVector:
+    """An extracted entropy vector and the feature widths it was built from."""
+
+    values: np.ndarray
+    widths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (len(self.widths),):
+            raise ValueError(
+                f"got {self.values.shape[0]} values for {len(self.widths)} widths"
+            )
+
+    def __len__(self) -> int:
+        return len(self.widths)
+
+    def __getitem__(self, width: int) -> float:
+        """Value of feature ``h_width`` (by width, not by position)."""
+        try:
+            idx = self.widths.index(width)
+        except ValueError:
+            raise KeyError(f"h_{width} is not in this vector (widths={self.widths})")
+        return float(self.values[idx])
+
+    def as_array(self) -> np.ndarray:
+        """The raw feature vector (copy), for feeding a classifier."""
+        return np.array(self.values, dtype=np.float64)
+
+
+def entropy_vector(
+    data: "bytes | bytearray | np.ndarray",
+    features: FeatureSet = FULL_FEATURES,
+) -> EntropyVector:
+    """Exact entropy vector of ``data`` over ``features``.
+
+    Requires ``len(data) >= features.max_width``; an online caller should
+    size its flow buffer at least that large.
+    """
+    values = np.array(
+        [kgram_entropy(data, k) for k in features.widths], dtype=np.float64
+    )
+    return EntropyVector(values=values, widths=tuple(features.widths))
+
+
+def prefix_vector(
+    data: "bytes | bytearray", buffer_size: int, features: FeatureSet = FULL_FEATURES
+) -> EntropyVector:
+    """``H_b``: entropy vector of the first ``buffer_size`` bytes.
+
+    When the data is shorter than ``buffer_size`` the whole sequence is
+    used, mirroring a flow that ends before its buffer fills.
+    """
+    if buffer_size < features.max_width:
+        raise ValueError(
+            f"buffer_size {buffer_size} is smaller than the widest feature "
+            f"h_{features.max_width}"
+        )
+    return entropy_vector(bytes(data[:buffer_size]), features)
+
+
+def random_offset_vector(
+    data: "bytes | bytearray",
+    buffer_size: int,
+    max_header: int,
+    rng: np.random.Generator,
+    features: FeatureSet = FULL_FEATURES,
+) -> EntropyVector:
+    """``H_b'``: entropy vector of ``buffer_size`` bytes at a random offset.
+
+    The offset is uniform in ``[0, max_header]`` (the paper's threshold
+    ``T``), clipped so the window stays inside ``data``. Models training and
+    classification where an unknown application header of at most ``T``
+    bytes precedes the payload.
+    """
+    if max_header < 0:
+        raise ValueError(f"max_header must be >= 0, got {max_header}")
+    if buffer_size < features.max_width:
+        raise ValueError(
+            f"buffer_size {buffer_size} is smaller than the widest feature "
+            f"h_{features.max_width}"
+        )
+    limit = max(0, min(max_header, len(data) - buffer_size))
+    offset = int(rng.integers(0, limit + 1))
+    window = bytes(data[offset : offset + buffer_size])
+    return entropy_vector(window, features)
+
+
+def entropy_vector_estimated(
+    data: "bytes | bytearray | np.ndarray",
+    estimator: "EntropyEstimatorLike",
+) -> EntropyVector:
+    """Entropy vector via the (delta, epsilon)-approximation estimator.
+
+    ``h_1`` is always computed exactly (the estimator's ``|f_k| >> b``
+    assumption fails for single bytes); wider features are estimated. The
+    ``estimator`` carries the feature set and the (delta, epsilon) budget.
+    """
+    return estimator.estimate_vector(data)
+
+
+class EntropyEstimatorLike:
+    """Protocol-ish base for estimators accepted by entropy_vector_estimated.
+
+    Concrete implementation lives in :mod:`repro.core.estimation`; this stub
+    only documents the required interface and avoids a circular import.
+    """
+
+    def estimate_vector(self, data: "bytes | bytearray | np.ndarray") -> EntropyVector:
+        raise NotImplementedError

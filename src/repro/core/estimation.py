@@ -1,0 +1,177 @@
+"""(delta, epsilon)-approximation of entropy vectors (Section 4.4).
+
+Exact calculation of ``h_k`` for ``k > 1`` needs one counter per distinct
+k-gram; for a 1 KB buffer that is up to ``b - k + 1`` counters per feature.
+Iustitia instead estimates ``S_k = sum_i m_ik log m_ik`` with the streaming
+algorithm of Lall et al. (SIGMETRICS 2006), which builds on AMS
+frequency-moment estimation:
+
+1. pick ``g * z`` random locations in the element stream;
+2. for each location, count the occurrences ``c`` of that element from the
+   location to the end of the stream;
+3. ``N * (c log c - (c-1) log(c-1))`` is an unbiased estimator of ``S_k``;
+4. average within each of ``g`` groups of ``z`` estimators, then take the
+   median of the group means.
+
+The estimate has relative error at most ``epsilon`` with probability at
+least ``1 - delta`` when ``z = ceil(32 log_{|f_k|} b / epsilon^2)`` and
+``g = ceil(2 log2(1/delta))`` (both forced to be >= 1).
+
+``h_1`` is never estimated: the assumption ``|f_k| >> b`` fails for single
+bytes (``|f_1| = 256``), as Section 4.4.1 notes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.entropy import kgram_entropy
+from repro.core.entropy_vector import EntropyVector
+from repro.core.features import FULL_FEATURES, FeatureSet
+from repro.streaming.entropy_stream import estimate_s_from_stream
+
+__all__ = [
+    "EntropyEstimator",
+    "EstimationBudget",
+    "estimate_hk",
+    "feature_set_coefficient",
+]
+
+_LN2 = math.log(2.0)
+
+
+def feature_set_coefficient(features: FeatureSet) -> float:
+    """``K_phi = 8 * sum_{k != 1} 1/k`` (Formula 4's feature-set coefficient)."""
+    return features.coefficient()
+
+
+@dataclass(frozen=True)
+class EstimationBudget:
+    """Counter budget for one (delta, epsilon) configuration.
+
+    ``z_for(k)`` and ``g`` follow Section 4.4.1:
+    ``z_k = ceil(32 * log_{|f_k|}(b) / epsilon^2)`` and
+    ``g = ceil(2 * log2(1/delta))``.
+    """
+
+    epsilon: float
+    delta: float
+    buffer_size: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta}")
+        if self.buffer_size < 2:
+            raise ValueError(f"buffer_size must be >= 2, got {self.buffer_size}")
+
+    @property
+    def g(self) -> int:
+        """Number of estimator groups (median-of-means outer dimension)."""
+        return max(1, math.ceil(2.0 * math.log2(1.0 / self.delta)))
+
+    def z_for(self, k: int) -> int:
+        """Estimators per group for feature width ``k``."""
+        if k < 2:
+            raise ValueError("estimation applies only to k >= 2 (h_1 is exact)")
+        log_base_fk_b = math.log(self.buffer_size) / (8.0 * k * _LN2)
+        return max(1, math.ceil(32.0 * log_base_fk_b / self.epsilon**2))
+
+    def counters_for(self, k: int) -> int:
+        """Total counters ``g * z_k`` used to estimate ``h_k``."""
+        return self.g * self.z_for(k)
+
+    def total_counters(self, features: FeatureSet) -> int:
+        """Counters across all estimable features of ``features``.
+
+        This is the left-hand side of Formula (3); the estimator saves space
+        only when it stays below the exact calculation's counter count
+        ``alpha``.
+        """
+        return sum(self.counters_for(k) for k in features.estimable_widths)
+
+    def saves_space(self, features: FeatureSet, alpha: int) -> bool:
+        """Whether this budget undercuts an exact calculation of ``alpha`` counters."""
+        return self.total_counters(features) < alpha
+
+
+def estimate_hk(
+    data: "bytes | bytearray | np.ndarray",
+    k: int,
+    budget: EstimationBudget,
+    rng: np.random.Generator,
+) -> float:
+    """Estimate ``h_k`` of ``data`` under ``budget``.
+
+    Runs the Lall et al. estimator for ``S_k`` over the k-gram stream and
+    plugs the estimate into Formula (1). The result is clamped to
+    ``[0, 1]``: the raw estimator is unbiased but an individual estimate
+    can stray outside the feasible range.
+    """
+    if k < 2:
+        raise ValueError("estimation applies only to k >= 2 (h_1 is exact)")
+    buf = bytes(data) if not isinstance(data, (bytes, bytearray)) else bytes(data)
+    if len(buf) < k:
+        raise ValueError(f"need at least k={k} bytes, got {len(buf)}")
+    n_elements = len(buf) - k + 1
+    s_k = estimate_s_from_stream(
+        buf, k, groups=budget.g, per_group=budget.z_for(k), rng=rng
+    )
+    entropy_nats = math.log(n_elements) - s_k / n_elements
+    h_k = entropy_nats / (8.0 * k * _LN2)
+    return min(max(h_k, 0.0), 1.0)
+
+
+class EntropyEstimator:
+    """Estimates full entropy vectors under a (delta, epsilon) budget.
+
+    ``h_1`` is computed exactly; every other feature in ``features`` uses
+    the streaming estimator. The per-feature counter layout is exposed via
+    :attr:`budget` for space accounting (Table 3 / Figure 7 benches).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        delta: float,
+        buffer_size: int,
+        features: FeatureSet = FULL_FEATURES,
+        rng: "np.random.Generator | None" = None,
+    ) -> None:
+        self.features = features
+        self.budget = EstimationBudget(
+            epsilon=epsilon, delta=delta, buffer_size=buffer_size
+        )
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def epsilon(self) -> float:
+        return self.budget.epsilon
+
+    @property
+    def delta(self) -> float:
+        return self.budget.delta
+
+    def total_counters(self) -> int:
+        """Counters across the estimable features of this estimator's set."""
+        return self.budget.total_counters(self.features)
+
+    def estimate_vector(
+        self, data: "bytes | bytearray | np.ndarray"
+    ) -> EntropyVector:
+        """Entropy vector with exact ``h_1`` and estimated wider features."""
+        buf = bytes(data)
+        values = []
+        for k in self.features.widths:
+            if k == 1:
+                values.append(kgram_entropy(buf, 1))
+            else:
+                values.append(estimate_hk(buf, k, self.budget, self._rng))
+        return EntropyVector(
+            values=np.array(values, dtype=np.float64),
+            widths=tuple(self.features.widths),
+        )

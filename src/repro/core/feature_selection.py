@@ -1,0 +1,123 @@
+"""Feature selection over entropy-vector features (Section 4.1).
+
+Two methods, matching the paper:
+
+* **CART voting** — train a tree per cross-validation fold, prune each
+  until a 2% accuracy decrease, and vote for the features the pruned trees
+  still split on (weighted by height in the tree). Yields the paper's
+  ``phi_CART = {h1, h3, h4, h10}``-style sets.
+* **Sequential Forward Search (SFS)** for SVM — grow a feature set
+  greedily, adding whichever feature maximizes cross-validated accuracy,
+  with a vote across folds. Yields ``phi_SVM = {h1, h2, h3, h9}``-style
+  sets.
+
+Both return :class:`repro.core.features.FeatureSet` objects whose widths
+are sorted ascending (matching the paper's notation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import FeatureSet
+from repro.ml.tree.cart import DecisionTreeClassifier
+from repro.ml.tree.pruning import prune_to_accuracy
+from repro.ml.validation import StratifiedKFold
+
+__all__ = ["cart_voting_selection", "sequential_forward_selection"]
+
+
+def cart_voting_selection(
+    X,
+    y,
+    widths: "tuple[int, ...] | list[int]",
+    n_select: int,
+    n_folds: int = 10,
+    max_drop: float = 0.02,
+    rng: "np.random.Generator | None" = None,
+) -> FeatureSet:
+    """CART pruning-vote feature selection.
+
+    ``X`` columns correspond to entropy features with the given ``widths``.
+    Returns the ``n_select`` most-voted widths as a feature set.
+    """
+    features = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(y).ravel()
+    width_list = list(widths)
+    if features.shape[1] != len(width_list):
+        raise ValueError(
+            f"X has {features.shape[1]} columns for {len(width_list)} widths"
+        )
+    if not 1 <= n_select <= len(width_list):
+        raise ValueError(
+            f"n_select must be in [1, {len(width_list)}], got {n_select}"
+        )
+    generator = rng if rng is not None else np.random.default_rng()
+    votes = np.zeros(len(width_list), dtype=np.float64)
+    splitter = StratifiedKFold(n_folds, rng=generator)
+    for train_idx, test_idx in splitter.split(labels):
+        tree = DecisionTreeClassifier().fit(features[train_idx], labels[train_idx])
+        pruned = prune_to_accuracy(
+            tree, features[test_idx], labels[test_idx], max_drop=max_drop
+        )
+        for column, weight in pruned.feature_usage().items():
+            votes[column] += weight
+    chosen_columns = np.argsort(-votes, kind="stable")[:n_select]
+    chosen_widths = tuple(sorted(width_list[c] for c in chosen_columns))
+    return FeatureSet("cart_voted", chosen_widths)
+
+
+def sequential_forward_selection(
+    make_estimator,
+    X,
+    y,
+    widths: "tuple[int, ...] | list[int]",
+    n_select: int,
+    n_folds: int = 5,
+    rng: "np.random.Generator | None" = None,
+) -> FeatureSet:
+    """SFS with per-fold voting (the paper's SVM feature selection).
+
+    ``make_estimator()`` builds a fresh classifier (typically an SVM). On
+    every fold, SFS greedily grows a feature subset of size ``n_select``
+    by held-out accuracy; the widths selected most often across folds win.
+    """
+    features = np.asarray(X, dtype=np.float64)
+    labels = np.asarray(y).ravel()
+    width_list = list(widths)
+    if features.shape[1] != len(width_list):
+        raise ValueError(
+            f"X has {features.shape[1]} columns for {len(width_list)} widths"
+        )
+    if not 1 <= n_select <= len(width_list):
+        raise ValueError(
+            f"n_select must be in [1, {len(width_list)}], got {n_select}"
+        )
+    generator = rng if rng is not None else np.random.default_rng()
+    votes = np.zeros(len(width_list), dtype=np.float64)
+    splitter = StratifiedKFold(n_folds, rng=generator)
+    for train_idx, test_idx in splitter.split(labels):
+        selected: list[int] = []
+        remaining = list(range(len(width_list)))
+        while len(selected) < n_select:
+            best_column = -1
+            best_accuracy = -np.inf
+            for column in remaining:
+                candidate = selected + [column]
+                estimator = make_estimator()
+                estimator.fit(features[np.ix_(train_idx, candidate)], labels[train_idx])
+                accuracy = estimator.score(
+                    features[np.ix_(test_idx, candidate)], labels[test_idx]
+                )
+                if accuracy > best_accuracy:
+                    best_accuracy = accuracy
+                    best_column = column
+            selected.append(best_column)
+            remaining.remove(best_column)
+        # Earlier picks carry more weight: they were chosen against the
+        # largest candidate pool.
+        for rank, column in enumerate(selected):
+            votes[column] += n_select - rank
+    chosen_columns = np.argsort(-votes, kind="stable")[:n_select]
+    chosen_widths = tuple(sorted(width_list[c] for c in chosen_columns))
+    return FeatureSet("sfs_voted", chosen_widths)

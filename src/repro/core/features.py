@@ -1,0 +1,129 @@
+"""Entropy-vector feature sets (Sections 3.1 and 4.1).
+
+A *feature* is the normalized entropy ``h_k`` for some feature width ``k``;
+a *feature set* is an ordered tuple of widths. The paper starts from the
+full vector ``<h_1 .. h_10>`` and derives reduced sets by feature selection:
+
+* ``PHI_CART  = {h1, h3, h4, h10}`` — CART pruning-vote selection.
+* ``PHI_SVM   = {h1, h2, h3, h9}``  — Sequential Forward Search for SVM.
+* ``PHI_CART_PRIME = {h1, h3, h4, h5}`` and
+  ``PHI_SVM_PRIME  = {h1, h2, h3, h5}`` — the same sets after substituting
+  the large-width feature with ``h5``, because small widths need
+  exponentially less counting memory (Section 4.1's stated preference).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "FEATURE_SETS",
+    "FULL_FEATURES",
+    "PHI_CART",
+    "PHI_CART_PRIME",
+    "PHI_SVM",
+    "PHI_SVM_PRIME",
+    "FeatureSet",
+]
+
+
+@dataclass(frozen=True)
+class FeatureSet:
+    """An ordered set of entropy feature widths.
+
+    ``widths`` are the ``k`` values of the ``h_k`` features, in the order
+    the features appear in extracted vectors.
+    """
+
+    name: str
+    widths: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.widths:
+            raise ValueError("a feature set needs at least one width")
+        if any(width < 1 for width in self.widths):
+            raise ValueError(f"feature widths must be >= 1, got {self.widths}")
+        if len(set(self.widths)) != len(self.widths):
+            raise ValueError(f"duplicate feature widths in {self.widths}")
+
+    def __len__(self) -> int:
+        return len(self.widths)
+
+    def __iter__(self):
+        return iter(self.widths)
+
+    @property
+    def max_width(self) -> int:
+        """Largest feature width; the minimum usable buffer size."""
+        return max(self.widths)
+
+    @property
+    def estimable_widths(self) -> tuple[int, ...]:
+        """Widths eligible for (delta, epsilon)-estimation.
+
+        The streaming estimator requires ``|f_k| >> b``, which rules out
+        ``h_1`` (``|f_1| = 256``, Section 4.4.1); all wider features
+        qualify.
+        """
+        return tuple(width for width in self.widths if width != 1)
+
+    def coefficient(self) -> float:
+        """Feature-set coefficient ``K_phi = 8 * sum_{k != 1} 1/k``.
+
+        Appears in the paper's counter-budget bound (Formula 4). For the
+        paper's sets: ``K_phi(SVM) ~= 8.26`` and ``K_phi(CART) ~= 6.26``.
+        """
+        return 8.0 * sum(1.0 / width for width in self.estimable_widths)
+
+    def exact_counter_bound(self, buffer_size: int) -> int:
+        """Counters an exact calculation can touch for a ``b``-byte buffer.
+
+        At most ``b - k + 1`` distinct k-grams exist in the buffer, so the
+        number of *non-zero* counters is bounded by the window count (the
+        paper's observation that "in practice, most of the counters are 0").
+        """
+        if buffer_size < self.max_width:
+            raise ValueError(
+                f"buffer of {buffer_size} bytes cannot hold a width-"
+                f"{self.max_width} feature"
+            )
+        return sum(buffer_size - width + 1 for width in self.widths)
+
+    def min_epsilon(self, buffer_size: int, delta: float, alpha: int) -> float:
+        """Lower bound on epsilon from Formula (4).
+
+        ``alpha`` is the counter budget of the exact calculation; the
+        estimator only saves space when its ``g * z`` counters stay below
+        ``alpha``, which requires
+        ``epsilon > sqrt(K_phi * log2(b) / alpha * log2(1/delta))``.
+        """
+        if not 0.0 < delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {delta}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        if buffer_size < 2:
+            raise ValueError(f"buffer_size must be >= 2, got {buffer_size}")
+        return math.sqrt(
+            self.coefficient() * math.log2(buffer_size) / alpha * math.log2(1.0 / delta)
+        )
+
+
+#: The full entropy vector <h_1 .. h_10> used in Section 3.
+FULL_FEATURES = FeatureSet("full", tuple(range(1, 11)))
+
+#: CART pruning-vote selection (Section 4.1).
+PHI_CART = FeatureSet("phi_cart", (1, 3, 4, 10))
+
+#: SVM Sequential-Forward-Search selection (Section 4.1).
+PHI_SVM = FeatureSet("phi_svm", (1, 2, 3, 9))
+
+#: Memory-preferred variants substituting h5 for the large-width feature.
+PHI_CART_PRIME = FeatureSet("phi_cart_prime", (1, 3, 4, 5))
+PHI_SVM_PRIME = FeatureSet("phi_svm_prime", (1, 2, 3, 5))
+
+#: All named feature sets, keyed by name.
+FEATURE_SETS: dict[str, FeatureSet] = {
+    fs.name: fs
+    for fs in (FULL_FEATURES, PHI_CART, PHI_SVM, PHI_CART_PRIME, PHI_SVM_PRIME)
+}

@@ -1,0 +1,41 @@
+"""Flow-nature class labels.
+
+The paper defines exactly three natures for a flow's content: *text*,
+*binary*, and *encrypted* (Section 1.1). Labels are encoded as small
+integers because the Classification Database stores them in 2 bits per
+record (Section 4.5).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["BINARY", "ENCRYPTED", "TEXT", "FlowNature", "ALL_NATURES"]
+
+
+class FlowNature(enum.IntEnum):
+    """The content nature of a flow (or file)."""
+
+    TEXT = 0
+    BINARY = 1
+    ENCRYPTED = 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+    @classmethod
+    def from_name(cls, name: str) -> "FlowNature":
+        """Parse a label from its lowercase/uppercase name."""
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            valid = ", ".join(member.name.lower() for member in cls)
+            raise ValueError(f"unknown flow nature {name!r}; expected one of {valid}")
+
+
+TEXT = FlowNature.TEXT
+BINARY = FlowNature.BINARY
+ENCRYPTED = FlowNature.ENCRYPTED
+
+#: All natures in label order; handy for confusion-matrix axes.
+ALL_NATURES: tuple[FlowNature, ...] = (TEXT, BINARY, ENCRYPTED)

@@ -1,0 +1,64 @@
+"""Synthetic corpus substrate.
+
+The paper validates on a pool of real text, binary, and encrypted files
+(Section 3.2). No such pool ships offline, so this subpackage generates a
+statistically equivalent corpus:
+
+* **text** — Zipf/Markov English prose, HTML pages, log files, emails
+  (skewed byte distribution → lowest entropy);
+* **binary** — ELF-like executables, JPEG/PNG-like images, DEFLATE
+  archives, PDF-like documents, AVI/MPG-like media (structured headers and
+  padding mixed with compressed payload → intermediate entropy);
+* **encrypted** — RC4 / hash-CTR keystream ciphertexts (statistically
+  uniform bytes → highest entropy).
+
+All generators are deterministic given a ``numpy.random.Generator``, so
+every experiment is reproducible from a seed.
+"""
+
+from repro.data.corpus import Corpus, LabeledFile, build_corpus, default_generators
+from repro.data.cryptogen import (
+    HashCtrCipher,
+    Rc4Cipher,
+    generate_encrypted_file,
+)
+from repro.data.binarygen import (
+    generate_avi_like,
+    generate_binary_file,
+    generate_elf_like,
+    generate_jpeg_like,
+    generate_pdf_like,
+    generate_png_like,
+    generate_zip_like,
+)
+from repro.data.markov import MarkovTextModel
+from repro.data.textgen import (
+    generate_email,
+    generate_html,
+    generate_log_file,
+    generate_plain_text,
+    generate_text_file,
+)
+
+__all__ = [
+    "Corpus",
+    "HashCtrCipher",
+    "LabeledFile",
+    "MarkovTextModel",
+    "Rc4Cipher",
+    "build_corpus",
+    "default_generators",
+    "generate_avi_like",
+    "generate_binary_file",
+    "generate_elf_like",
+    "generate_email",
+    "generate_encrypted_file",
+    "generate_html",
+    "generate_jpeg_like",
+    "generate_log_file",
+    "generate_pdf_like",
+    "generate_plain_text",
+    "generate_png_like",
+    "generate_text_file",
+    "generate_zip_like",
+]

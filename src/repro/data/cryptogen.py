@@ -1,0 +1,171 @@
+"""Encrypted-class file generators.
+
+The paper's encrypted pool was "generated using PGP, AES, DES, etc.". Those
+ciphers are not available offline without third-party packages, so we
+implement two keystream ciphers from scratch:
+
+* :class:`Rc4Cipher` — the classic RC4 stream cipher (textbook KSA/PRGA).
+  RC4 is cryptographically broken, which is irrelevant here: its keystream
+  passes the byte-frequency uniformity this experiment depends on.
+* :class:`HashCtrCipher` — a hash-in-counter-mode keystream built on
+  BLAKE2b, standing in for modern block ciphers in CTR mode.
+
+Both produce statistically uniform ciphertext (normalized entropy -> 1),
+which is the *only* property the classifier observes, so the substitution
+preserves the paper's encrypted-class behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.data.binarygen import generate_binary_file
+from repro.data.textgen import generate_text_file
+
+__all__ = [
+    "CIPHER_KINDS",
+    "HashCtrCipher",
+    "Rc4Cipher",
+    "generate_encrypted_file",
+]
+
+
+class Rc4Cipher:
+    """RC4 stream cipher (key-scheduling + pseudo-random generation).
+
+    Included purely as a uniform-keystream *generator* for synthetic
+    corpus data — do not use RC4 to protect real data.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if not 1 <= len(key) <= 256:
+            raise ValueError(f"key must be 1..256 bytes, got {len(key)}")
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) % 256
+            state[i], state[j] = state[j], state[i]
+        self._state = state
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, n: int) -> bytes:
+        """The next ``n`` keystream bytes."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        state = self._state
+        i, j = self._i, self._j
+        out = bytearray(n)
+        for pos in range(n):
+            i = (i + 1) % 256
+            j = (j + state[i]) % 256
+            state[i], state[j] = state[j], state[i]
+            out[pos] = state[(state[i] + state[j]) % 256]
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt/decrypt ``data`` (XOR with keystream; involutory)."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+class HashCtrCipher:
+    """BLAKE2b-based counter-mode keystream cipher.
+
+    Keystream block ``i`` is ``BLAKE2b(key || nonce || i)``; XORed with the
+    plaintext. Deterministic given (key, nonce), mimicking AES-CTR's
+    uniform-ciphertext statistics.
+    """
+
+    _BLOCK = 64  # BLAKE2b digest size
+
+    def __init__(self, key: bytes, nonce: bytes = b"") -> None:
+        if not key:
+            raise ValueError("key must be non-empty")
+        self._key = bytes(key)
+        self._nonce = bytes(nonce)
+        self._counter = 0
+        self._pending = b""
+
+    def keystream(self, n: int) -> bytes:
+        """The next ``n`` keystream bytes."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        chunks = [self._pending]
+        have = len(self._pending)
+        while have < n:
+            block = hashlib.blake2b(
+                self._key + self._nonce + self._counter.to_bytes(8, "big"),
+                digest_size=self._BLOCK,
+            ).digest()
+            chunks.append(block)
+            have += len(block)
+            self._counter += 1
+        stream = b"".join(chunks)
+        self._pending = stream[n:]
+        return stream[:n]
+
+    def process(self, data: bytes) -> bytes:
+        """Encrypt/decrypt ``data`` (XOR with keystream; involutory)."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+#: Cipher name -> constructor taking (key) and returning a cipher object.
+CIPHER_KINDS = {
+    "rc4": lambda key: Rc4Cipher(key),
+    "hashctr": lambda key: HashCtrCipher(key),
+}
+
+#: Fraction of generated encrypted files that are ASCII-armored (PGP .asc
+#: style). Armored ciphertext is base64 text — the realistic reason the
+#: paper's encrypted class shows ~10% encrypted -> text confusion.
+ARMOR_PROBABILITY = 0.25
+
+
+def ascii_armor(ciphertext: bytes) -> bytes:
+    """PGP-style ASCII armor: base64 body between BEGIN/END banners."""
+    import base64
+
+    body = base64.b64encode(ciphertext)
+    lines = [body[i : i + 64] for i in range(0, len(body), 64)]
+    return (
+        b"-----BEGIN PGP MESSAGE-----\nVersion: Iustitia-Repro 1.0\n\n"
+        + b"\n".join(lines)
+        + b"\n-----END PGP MESSAGE-----\n"
+    )
+
+
+def generate_encrypted_file(
+    size: int, rng: np.random.Generator, kind: "str | None" = None
+) -> bytes:
+    """An encrypted-class file: a generated plaintext under a random key.
+
+    The plaintext is a synthetic text or binary file (what users actually
+    encrypt); the ciphertext statistics are keystream-uniform either way.
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if kind is None:
+        names = sorted(CIPHER_KINDS)
+        kind = names[int(rng.integers(0, len(names)))]
+    try:
+        make_cipher = CIPHER_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown cipher kind {kind!r}; expected one of {sorted(CIPHER_KINDS)}"
+        )
+    key = rng.integers(0, 256, size=32, dtype=np.int64).astype(np.uint8).tobytes()
+    if rng.random() < 0.5:
+        plaintext = generate_text_file(size, rng)
+    else:
+        plaintext = generate_binary_file(size, rng)
+    ciphertext = make_cipher(key).process(plaintext)
+    if rng.random() < ARMOR_PROBABILITY:
+        # PGP-style armored output: still class "encrypted", but base64
+        # text on the wire (the paper's encrypted -> text confusion source).
+        return ascii_armor(ciphertext)[:size]
+    return ciphertext

@@ -1,0 +1,146 @@
+"""Text-class file generators.
+
+The paper's text pool contains "text documents, manuals, txt files, log
+files, htmls" plus email/chat/telnet flows. Each generator here produces one
+of those styles; :func:`generate_text_file` picks a style at random. All
+output is ASCII-dominated with natural-language letter-frequency skew, which
+is what places the text class at the bottom of the entropy scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.markov import MarkovTextModel
+
+__all__ = [
+    "TEXT_KINDS",
+    "generate_email",
+    "generate_html",
+    "generate_log_file",
+    "generate_plain_text",
+    "generate_text_file",
+]
+
+_MODEL = MarkovTextModel()
+
+_LOG_LEVELS = ("INFO", "DEBUG", "WARN", "ERROR", "TRACE")
+_LOG_COMPONENTS = (
+    "net.flow", "core.cdb", "http.server", "auth", "db.pool", "sched",
+    "worker-1", "worker-2", "io.disk", "cache",
+)
+_HTML_TAGS = ("p", "div", "span", "li", "h2", "h3", "blockquote")
+
+
+def generate_plain_text(size: int, rng: np.random.Generator) -> bytes:
+    """Plain prose (txt files, documents, manuals)."""
+    text = _MODEL.generate(size, rng)
+    return text[:size].encode("ascii", "replace")
+
+
+def generate_html(size: int, rng: np.random.Generator) -> bytes:
+    """An HTML page with markup wrapped around generated prose."""
+    pieces = [
+        "<!DOCTYPE html>\n<html>\n<head>\n",
+        f"<title>{_MODEL.generate_sentence(rng, max_words=6)[:-1]}</title>\n",
+        '<meta charset="utf-8">\n</head>\n<body>\n',
+    ]
+    total = sum(len(p) for p in pieces)
+    while total < size:
+        tag = _HTML_TAGS[int(rng.integers(0, len(_HTML_TAGS)))]
+        body = _MODEL.generate_sentence(rng)
+        if rng.random() < 0.2:
+            body = f'<a href="/page/{int(rng.integers(1, 999))}.html">{body}</a>'
+        chunk = f"<{tag}>{body}</{tag}>\n"
+        pieces.append(chunk)
+        total += len(chunk)
+    pieces.append("</body>\n</html>\n")
+    html = "".join(pieces)
+    return html[:size].encode("ascii", "replace")
+
+
+def generate_log_file(size: int, rng: np.random.Generator) -> bytes:
+    """A server-style log: timestamped lines with levels and components."""
+    pieces: list[str] = []
+    total = 0
+    timestamp = float(rng.uniform(1.0e9, 1.3e9))
+    while total < size:
+        timestamp += float(rng.exponential(2.0))
+        seconds = int(timestamp)
+        millis = int((timestamp - seconds) * 1000)
+        level = _LOG_LEVELS[int(rng.integers(0, len(_LOG_LEVELS)))]
+        component = _LOG_COMPONENTS[int(rng.integers(0, len(_LOG_COMPONENTS)))]
+        message = _MODEL.generate_sentence(rng, max_words=10)[:-1].lower()
+        line = f"{seconds}.{millis:03d} {level:5s} [{component}] {message}\n"
+        pieces.append(line)
+        total += len(line)
+    log = "".join(pieces)
+    return log[:size].encode("ascii", "replace")
+
+
+def generate_email(size: int, rng: np.random.Generator) -> bytes:
+    """An RFC-822-style email: headers plus a prose body.
+
+    About a third of larger emails carry a base64 MIME attachment — real
+    mailboxes do, and the base64 section's flatter byte distribution is a
+    realistic source of text -> binary/encrypted confusion for an
+    entropy-based classifier (the paper's Table 1 shows exactly that).
+    """
+    import base64
+
+    user_a = f"user{int(rng.integers(1, 500))}"
+    user_b = f"user{int(rng.integers(1, 500))}"
+    subject = _MODEL.generate_sentence(rng, max_words=7)[:-1]
+    header = (
+        f"From: {user_a}@example.com\r\n"
+        f"To: {user_b}@example.org\r\n"
+        f"Subject: {subject}\r\n"
+        f"Date: Mon, 6 Apr 2009 {int(rng.integers(0, 24)):02d}:"
+        f"{int(rng.integers(0, 60)):02d}:00 -0400\r\n"
+        "MIME-Version: 1.0\r\n"
+        "Content-Type: text/plain; charset=us-ascii\r\n"
+        "\r\n"
+    )
+    body_size = max(1, size - len(header))
+    if size >= 2048 and rng.random() < 0.3:
+        prose = _MODEL.generate(max(1, body_size // 3), rng)
+        raw = rng.integers(0, 256, size=body_size, dtype=np.int64).astype(np.uint8)
+        encoded = base64.b64encode(raw.tobytes()).decode("ascii")
+        wrapped = "\r\n".join(
+            encoded[i : i + 76] for i in range(0, len(encoded), 76)
+        )
+        body = (
+            prose
+            + "\r\n--boundary42\r\nContent-Type: application/octet-stream\r\n"
+            "Content-Transfer-Encoding: base64\r\n\r\n"
+            + wrapped
+        )
+    else:
+        body = _MODEL.generate(body_size, rng)
+    message = header + body
+    return message[:size].encode("ascii", "replace")
+
+
+#: Style name -> generator, used by generate_text_file and the corpus builder.
+TEXT_KINDS = {
+    "plain": generate_plain_text,
+    "html": generate_html,
+    "log": generate_log_file,
+    "email": generate_email,
+}
+
+
+def generate_text_file(
+    size: int, rng: np.random.Generator, kind: "str | None" = None
+) -> bytes:
+    """A text-class file of ``size`` bytes; random style unless ``kind`` given."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if kind is None:
+        names = sorted(TEXT_KINDS)
+        kind = names[int(rng.integers(0, len(names)))]
+    try:
+        generator = TEXT_KINDS[kind]
+    except KeyError:
+        raise ValueError(f"unknown text kind {kind!r}; expected one of {sorted(TEXT_KINDS)}")
+    return generator(size, rng)

@@ -1,0 +1,84 @@
+"""Embedded English vocabulary for the text generators.
+
+A compact frequency-ranked word list (most frequent first) so that sampling
+with Zipf weights reproduces the heavy-tailed word-frequency — and hence
+the skewed byte-frequency — profile of natural-language text, which is what
+gives text files their low ``h_1`` in the paper's Figure 2(a).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["COMMON_WORDS", "TECHNICAL_WORDS", "SAMPLE_SENTENCES", "zipf_weights"]
+
+#: Frequency-ranked common English words (rank 1 = most frequent).
+COMMON_WORDS: tuple[str, ...] = (
+    "the", "of", "and", "to", "a", "in", "is", "that", "it", "was",
+    "for", "on", "are", "as", "with", "his", "they", "at", "be", "this",
+    "have", "from", "or", "one", "had", "by", "word", "but", "not", "what",
+    "all", "were", "we", "when", "your", "can", "said", "there", "use", "an",
+    "each", "which", "she", "do", "how", "their", "if", "will", "up", "other",
+    "about", "out", "many", "then", "them", "these", "so", "some", "her", "would",
+    "make", "like", "him", "into", "time", "has", "look", "two", "more", "write",
+    "go", "see", "number", "no", "way", "could", "people", "my", "than", "first",
+    "water", "been", "call", "who", "oil", "its", "now", "find", "long", "down",
+    "day", "did", "get", "come", "made", "may", "part", "over", "new", "sound",
+    "take", "only", "little", "work", "know", "place", "year", "live", "me", "back",
+    "give", "most", "very", "after", "thing", "our", "just", "name", "good", "sentence",
+    "man", "think", "say", "great", "where", "help", "through", "much", "before", "line",
+    "right", "too", "mean", "old", "any", "same", "tell", "boy", "follow", "came",
+    "want", "show", "also", "around", "form", "three", "small", "set", "put", "end",
+    "does", "another", "well", "large", "must", "big", "even", "such", "because", "turn",
+    "here", "why", "ask", "went", "men", "read", "need", "land", "different", "home",
+    "us", "move", "try", "kind", "hand", "picture", "again", "change", "off", "play",
+    "spell", "air", "away", "animal", "house", "point", "page", "letter", "mother", "answer",
+    "found", "study", "still", "learn", "should", "america", "world", "high", "every", "near",
+)
+
+#: Domain vocabulary mixed in to vary text style (manuals, logs, docs).
+TECHNICAL_WORDS: tuple[str, ...] = (
+    "server", "client", "packet", "network", "protocol", "buffer", "stream",
+    "entropy", "classifier", "system", "process", "request", "response",
+    "connection", "timeout", "error", "warning", "module", "function",
+    "parameter", "value", "default", "config", "service", "thread", "queue",
+    "message", "header", "payload", "address", "interface", "router",
+    "gateway", "session", "database", "record", "index", "table", "query",
+    "update", "delete", "insert", "select", "commit", "version", "release",
+    "install", "upgrade", "memory", "kernel", "driver", "device", "file",
+    "directory", "permission", "access", "user", "group", "password", "login",
+)
+
+#: Seed sentences for the Markov model (style priming).
+SAMPLE_SENTENCES: tuple[str, ...] = (
+    "the quick brown fox jumps over the lazy dog",
+    "a network flow is a sequence of packets between two endpoints",
+    "the entropy of a text file is lower than the entropy of a binary file",
+    "we propose a fast content based flow classifier for high speed links",
+    "each packet carries a header and a payload over the wire",
+    "the server accepts a connection and sends a response to the client",
+    "machine learning techniques can classify flows with high accuracy",
+    "the buffer must be small enough to avoid long delays on the router",
+    "text files tend to have repeated elements and a skewed distribution",
+    "the system logs every request with a timestamp and a status code",
+    "please read the manual before you install the new release",
+    "a decision tree splits the feature space into simple regions",
+    "the support vector machine finds a maximum margin separating surface",
+    "random padding at the start of a flow may cause misclassification",
+    "the gateway forwards packets from the local network to the internet",
+)
+
+
+def zipf_weights(count: int, exponent: float = 1.1) -> np.ndarray:
+    """Zipf-law sampling weights for ``count`` ranked items.
+
+    ``weight(rank) ~ 1 / rank^exponent``, normalized to sum to 1. The
+    default exponent ~1.1 matches empirical English word frequencies.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()

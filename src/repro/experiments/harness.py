@@ -1,0 +1,71 @@
+"""Cross-validation experiment runner in the paper's protocol.
+
+Wraps :func:`repro.ml.validation.cross_validate` with Table-1-style
+aggregation: total accuracy, per-class accuracy, and the pairwise
+misclassification matrix, averaged over folds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labels import ALL_NATURES, FlowNature
+from repro.ml.metrics import (
+    misclassification_rates,
+    per_class_accuracy,
+)
+from repro.ml.validation import FoldResult, cross_validate
+
+__all__ = ["ClassificationReport", "run_cv_experiment", "summarize_folds"]
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Aggregated cross-validation outcome (Table 1 layout)."""
+
+    total_accuracy: float
+    fold_accuracies: tuple[float, ...]
+    class_accuracy: dict[FlowNature, float]
+    misclassification: dict[tuple[FlowNature, FlowNature], float]
+
+    def misclassified_as(self, true: FlowNature, predicted: FlowNature) -> float:
+        """Rate of ``true``-class samples labelled ``predicted``."""
+        return self.misclassification[(true, predicted)]
+
+
+def summarize_folds(results: "list[FoldResult]") -> ClassificationReport:
+    """Aggregate fold results into a classification report."""
+    if not results:
+        raise ValueError("no fold results to summarize")
+    labels = [int(nature) for nature in ALL_NATURES]
+    y_true = np.concatenate([r.y_true for r in results])
+    y_pred = np.concatenate([r.y_pred for r in results])
+    class_accuracy = {
+        FlowNature(label): rate
+        for label, rate in per_class_accuracy(y_true, y_pred, labels).items()
+    }
+    confusion = {
+        (FlowNature(a), FlowNature(b)): rate
+        for (a, b), rate in misclassification_rates(y_true, y_pred, labels).items()
+    }
+    return ClassificationReport(
+        total_accuracy=float(np.mean(y_true == y_pred)),
+        fold_accuracies=tuple(r.accuracy for r in results),
+        class_accuracy=class_accuracy,
+        misclassification=confusion,
+    )
+
+
+def run_cv_experiment(
+    make_estimator,
+    X,
+    y,
+    n_splits: int = 10,
+    seed: int = 0,
+) -> ClassificationReport:
+    """The paper's 10-fold CV protocol over a feature matrix."""
+    rng = np.random.default_rng(seed)
+    results = cross_validate(make_estimator, X, y, n_splits=n_splits, rng=rng)
+    return summarize_folds(results)

@@ -1,0 +1,54 @@
+"""ASCII table/series formatting for benchmark output.
+
+The benches print their reproduced tables and figure series through these
+helpers so every bench reads the same way: a title, the paper's reported
+value where applicable, and the measured value.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_series", "format_table"]
+
+
+def format_table(
+    title: str,
+    headers: "list[str]",
+    rows: "list[list[object]]",
+) -> str:
+    """A fixed-width ASCII table with a title line."""
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells for {len(headers)} headers"
+            )
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    y_labels: "list[str]",
+    points: "list[tuple]",
+) -> str:
+    """A figure reproduced as a printed series: one row per x value."""
+    headers = [x_label] + list(y_labels)
+    rows = [list(point) for point in points]
+    return format_table(title, headers, rows)

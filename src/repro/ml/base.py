@@ -1,0 +1,46 @@
+"""Shared estimator plumbing: input validation and fitted-state checks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NotFittedError", "check_fitted", "check_X", "check_X_y"]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/score is called before fit."""
+
+
+def check_X(X) -> np.ndarray:
+    """Validate a 2-D float feature matrix; returns a float64 array."""
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ValueError(f"X must be non-empty, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("X contains NaN or infinite values")
+    return arr
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix with aligned integer labels."""
+    arr_x = check_X(X)
+    arr_y = np.asarray(y)
+    if arr_y.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {arr_y.shape}")
+    if arr_y.shape[0] != arr_x.shape[0]:
+        raise ValueError(
+            f"X has {arr_x.shape[0]} rows but y has {arr_y.shape[0]} labels"
+        )
+    return arr_x, arr_y.astype(np.int64)
+
+
+def check_fitted(estimator: object, attribute: str) -> None:
+    """Raise NotFittedError when ``estimator`` lacks a fitted ``attribute``."""
+    if getattr(estimator, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted yet; call fit() first"
+        )

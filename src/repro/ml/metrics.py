@@ -1,0 +1,86 @@
+"""Classification metrics in the layout the paper reports.
+
+Table 1 reports, per classifier: total accuracy, per-class accuracy, and a
+misclassification matrix giving, for each true class, the fraction of its
+samples predicted as each *other* class. These functions compute exactly
+those quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy_score",
+    "confusion_matrix",
+    "misclassification_rates",
+    "per_class_accuracy",
+]
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    true = np.asarray(y_true).ravel()
+    pred = np.asarray(y_pred).ravel()
+    if true.size == 0:
+        raise ValueError("y_true must be non-empty")
+    if true.shape != pred.shape:
+        raise ValueError(
+            f"y_true has {true.size} labels but y_pred has {pred.size}"
+        )
+    return true, pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of predictions equal to the true label."""
+    true, pred = _check_pair(y_true, y_pred)
+    return float(np.mean(true == pred))
+
+
+def confusion_matrix(y_true, y_pred, labels) -> np.ndarray:
+    """Counts ``C[i, j]`` = samples of true class ``labels[i]`` predicted as ``labels[j]``."""
+    true, pred = _check_pair(y_true, y_pred)
+    label_list = list(labels)
+    if len(label_list) == 0:
+        raise ValueError("labels must be non-empty")
+    index = {label: i for i, label in enumerate(label_list)}
+    matrix = np.zeros((len(label_list), len(label_list)), dtype=np.int64)
+    for t, p in zip(true.tolist(), pred.tolist()):
+        if t not in index:
+            raise ValueError(f"true label {t!r} not in labels {label_list}")
+        if p not in index:
+            raise ValueError(f"predicted label {p!r} not in labels {label_list}")
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def per_class_accuracy(y_true, y_pred, labels) -> dict[object, float]:
+    """Recall of each class (the paper's per-class "accuracy" rows).
+
+    Classes absent from ``y_true`` map to ``nan``.
+    """
+    matrix = confusion_matrix(y_true, y_pred, labels)
+    result: dict[object, float] = {}
+    for i, label in enumerate(labels):
+        row_total = matrix[i].sum()
+        result[label] = float(matrix[i, i] / row_total) if row_total else float("nan")
+    return result
+
+
+def misclassification_rates(y_true, y_pred, labels) -> dict[tuple[object, object], float]:
+    """``(true, predicted) -> rate`` for every ordered pair of distinct classes.
+
+    ``rate`` is the fraction of true-class samples predicted as the other
+    class — the off-diagonal entries of Table 1, row-normalized.
+    """
+    matrix = confusion_matrix(y_true, y_pred, labels)
+    label_list = list(labels)
+    rates: dict[tuple[object, object], float] = {}
+    for i, true_label in enumerate(label_list):
+        row_total = matrix[i].sum()
+        for j, pred_label in enumerate(label_list):
+            if i == j:
+                continue
+            rates[(true_label, pred_label)] = (
+                float(matrix[i, j] / row_total) if row_total else float("nan")
+            )
+    return rates

@@ -1,0 +1,87 @@
+"""Grid-search model selection over cross-validation.
+
+The paper's "after model selection, we achieved best classification
+accuracy ... by gamma = 50 and C = 1000" (Section 3.2), re-run after
+switching to estimated entropy vectors where it lands on ``gamma = 10``
+(Section 4.4.2). :func:`grid_search` reproduces that procedure for any
+estimator factory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.validation import cross_validate
+
+__all__ = ["GridSearchResult", "grid_search"]
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Outcome of a grid search."""
+
+    best_params: dict[str, object]
+    best_score: float
+    scores: dict[tuple, float]
+    param_names: tuple[str, ...]
+
+    def score_for(self, **params) -> float:
+        """Mean CV accuracy recorded for one parameter combination."""
+        key = tuple(params[name] for name in self.param_names)
+        try:
+            return self.scores[key]
+        except KeyError:
+            raise KeyError(f"no grid point {params!r}; searched {self.param_names}")
+
+
+def grid_search(
+    make_estimator,
+    param_grid: dict[str, list],
+    X,
+    y,
+    n_splits: int = 5,
+    rng: "np.random.Generator | None" = None,
+) -> GridSearchResult:
+    """Exhaustive CV search over ``param_grid``.
+
+    ``make_estimator(**params)`` must return a fresh estimator for one
+    parameter combination. Returns the combination with the highest mean
+    fold accuracy (ties resolve to the first combination in grid order,
+    i.e. earlier values in each parameter list win).
+    """
+    if not param_grid:
+        raise ValueError("param_grid must be non-empty")
+    names = tuple(param_grid)
+    for name, values in param_grid.items():
+        if not values:
+            raise ValueError(f"parameter {name!r} has an empty value list")
+    scores: dict[tuple, float] = {}
+    best_key: "tuple | None" = None
+    best_score = -np.inf
+    base_rng = rng if rng is not None else np.random.default_rng()
+    fold_seed = int(base_rng.integers(0, 2**32))
+    for combo in itertools.product(*(param_grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        # Same fold structure for every combination: fair comparison.
+        fold_rng = np.random.default_rng(fold_seed)
+        results = cross_validate(
+            lambda params=params: make_estimator(**params),
+            X,
+            y,
+            n_splits=n_splits,
+            rng=fold_rng,
+        )
+        mean_score = float(np.mean([r.accuracy for r in results]))
+        scores[combo] = mean_score
+        if mean_score > best_score:
+            best_score = mean_score
+            best_key = combo
+    return GridSearchResult(
+        best_params=dict(zip(names, best_key)),
+        best_score=best_score,
+        scores=scores,
+        param_names=names,
+    )

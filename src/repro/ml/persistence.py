@@ -1,0 +1,295 @@
+"""JSON (de)serialization for trained models.
+
+Pickle executes arbitrary code on load; a flow classifier deployed at a
+network boundary should not trust pickled models. This module serializes
+the two model families — CART trees and DAGSVM ensembles — plus the
+:class:`repro.core.classifier.IustitiaClassifier` wrapper to plain JSON:
+numbers, lists, and dicts only.
+
+Format: a top-level ``{"format": ..., "version": 1, ...}`` object. Loading
+validates the format tag and reconstructs fitted estimators.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.ml.svm.binary import BinarySVC
+from repro.ml.svm.dagsvm import DagSvmClassifier
+from repro.ml.svm.kernels import LinearKernel, PolynomialKernel, RbfKernel
+from repro.ml.tree.cart import DecisionTreeClassifier, TreeNode
+
+__all__ = [
+    "load_classifier",
+    "load_model",
+    "save_classifier",
+    "save_model",
+    "model_to_dict",
+    "model_from_dict",
+]
+
+_VERSION = 1
+
+
+# -- kernels -----------------------------------------------------------------
+
+
+def _kernel_to_dict(kernel) -> dict:
+    if isinstance(kernel, RbfKernel):
+        return {"kind": "rbf", "gamma": kernel.gamma}
+    if isinstance(kernel, LinearKernel):
+        return {"kind": "linear"}
+    if isinstance(kernel, PolynomialKernel):
+        return {
+            "kind": "poly",
+            "degree": kernel.degree,
+            "gamma": kernel.gamma,
+            "coef0": kernel.coef0,
+        }
+    raise TypeError(f"cannot serialize kernel {type(kernel).__name__}")
+
+
+def _kernel_from_dict(payload: dict):
+    kind = payload.get("kind")
+    if kind == "rbf":
+        return RbfKernel(gamma=payload["gamma"])
+    if kind == "linear":
+        return LinearKernel()
+    if kind == "poly":
+        return PolynomialKernel(
+            degree=payload["degree"], gamma=payload["gamma"], coef0=payload["coef0"]
+        )
+    raise ValueError(f"unknown kernel kind {kind!r}")
+
+
+# -- CART ---------------------------------------------------------------------
+
+
+def _node_to_dict(node: TreeNode) -> dict:
+    payload = {
+        "counts": node.class_counts.tolist(),
+        "depth": node.depth,
+        "id": node.node_id,
+        "impurity": node.impurity,
+    }
+    if not node.is_leaf:
+        payload["feature"] = node.feature
+        payload["threshold"] = node.threshold
+        payload["left"] = _node_to_dict(node.left)
+        payload["right"] = _node_to_dict(node.right)
+    return payload
+
+
+def _node_from_dict(payload: dict) -> TreeNode:
+    node = TreeNode(
+        class_counts=np.asarray(payload["counts"], dtype=np.float64),
+        depth=int(payload["depth"]),
+        node_id=int(payload["id"]),
+        impurity=float(payload["impurity"]),
+    )
+    if "feature" in payload:
+        node.feature = int(payload["feature"])
+        node.threshold = float(payload["threshold"])
+        node.left = _node_from_dict(payload["left"])
+        node.right = _node_from_dict(payload["right"])
+    return node
+
+
+def _cart_to_dict(clf: DecisionTreeClassifier) -> dict:
+    if clf.root_ is None:
+        raise ValueError("cannot serialize an unfitted tree")
+    return {
+        "format": "repro/cart",
+        "version": _VERSION,
+        "params": {
+            "criterion": clf.criterion,
+            "max_depth": clf.max_depth,
+            "min_samples_split": clf.min_samples_split,
+            "min_samples_leaf": clf.min_samples_leaf,
+            "min_impurity_decrease": clf.min_impurity_decrease,
+        },
+        "classes": clf.classes_.tolist(),
+        "n_features": clf.n_features_,
+        "root": _node_to_dict(clf.root_),
+    }
+
+
+def _cart_from_dict(payload: dict) -> DecisionTreeClassifier:
+    clf = DecisionTreeClassifier(**payload["params"])
+    clf.classes_ = np.asarray(payload["classes"])
+    clf.n_features_ = int(payload["n_features"])
+    clf.root_ = _node_from_dict(payload["root"])
+    return clf
+
+
+# -- SVM ------------------------------------------------------------------------
+
+
+def _binary_svc_to_dict(svc: BinarySVC) -> dict:
+    if svc.support_vectors_ is None:
+        raise ValueError("cannot serialize an unfitted SVC")
+    return {
+        "C": svc.C,
+        "tol": svc.tol,
+        "max_iter": svc.max_iter,
+        "kernel": _kernel_to_dict(svc.kernel),
+        "classes": svc.classes_.tolist(),
+        "support_vectors": svc.support_vectors_.tolist(),
+        "dual_coef": svc.dual_coef_.tolist(),
+        "bias": svc.bias_,
+        "converged": svc.converged_,
+        "iterations": svc.iterations_,
+    }
+
+
+def _binary_svc_from_dict(payload: dict) -> BinarySVC:
+    svc = BinarySVC(
+        C=payload["C"],
+        kernel=_kernel_from_dict(payload["kernel"]),
+        tol=payload["tol"],
+        max_iter=payload["max_iter"],
+    )
+    svc.classes_ = np.asarray(payload["classes"])
+    svc.support_vectors_ = np.asarray(payload["support_vectors"], dtype=np.float64)
+    svc.dual_coef_ = np.asarray(payload["dual_coef"], dtype=np.float64)
+    svc.bias_ = float(payload["bias"])
+    svc.converged_ = bool(payload["converged"])
+    svc.iterations_ = int(payload["iterations"])
+    return svc
+
+
+def _dagsvm_to_dict(clf: DagSvmClassifier) -> dict:
+    if clf.pairwise_ is None:
+        raise ValueError("cannot serialize an unfitted DAGSVM")
+    return {
+        "format": "repro/dagsvm",
+        "version": _VERSION,
+        "C": clf.C,
+        "tol": clf.tol,
+        "max_iter": clf.max_iter,
+        "kernel": _kernel_to_dict(clf.kernel),
+        "classes": clf.classes_.tolist(),
+        "pairwise": {
+            f"{a},{b}": _binary_svc_to_dict(svc)
+            for (a, b), svc in clf.pairwise_.items()
+        },
+    }
+
+
+def _dagsvm_from_dict(payload: dict) -> DagSvmClassifier:
+    clf = DagSvmClassifier(
+        C=payload["C"],
+        kernel=_kernel_from_dict(payload["kernel"]),
+        tol=payload["tol"],
+        max_iter=payload["max_iter"],
+    )
+    clf.classes_ = np.asarray(payload["classes"])
+    clf.pairwise_ = {}
+    for key, svc_payload in payload["pairwise"].items():
+        a, b = key.split(",")
+        clf.pairwise_[(int(a), int(b))] = _binary_svc_from_dict(svc_payload)
+    return clf
+
+
+# -- public API ------------------------------------------------------------------
+
+
+def model_to_dict(model) -> dict:
+    """Serialize a fitted CART or DAGSVM model to a JSON-able dict."""
+    if isinstance(model, DecisionTreeClassifier):
+        return _cart_to_dict(model)
+    if isinstance(model, DagSvmClassifier):
+        return _dagsvm_to_dict(model)
+    raise TypeError(f"cannot serialize model {type(model).__name__}")
+
+
+def model_from_dict(payload: dict):
+    """Reconstruct a fitted model from :func:`model_to_dict` output."""
+    fmt = payload.get("format")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported model version {payload.get('version')!r}")
+    if fmt == "repro/cart":
+        return _cart_from_dict(payload)
+    if fmt == "repro/dagsvm":
+        return _dagsvm_from_dict(payload)
+    raise ValueError(f"unknown model format {fmt!r}")
+
+
+def save_model(model, path) -> None:
+    """Write a fitted model as JSON."""
+    with open(path, "w") as handle:
+        json.dump(model_to_dict(model), handle)
+
+
+def load_model(path):
+    """Load a model written by :func:`save_model`."""
+    with open(path) as handle:
+        return model_from_dict(json.load(handle))
+
+
+def save_classifier(classifier, path) -> None:
+    """Write a fitted :class:`IustitiaClassifier` (model + config) as JSON.
+
+    The (delta, epsilon) estimator, when present, is recorded by its
+    parameters and rebuilt with a fresh RNG on load.
+    """
+    from repro.core.classifier import IustitiaClassifier
+
+    if not isinstance(classifier, IustitiaClassifier):
+        raise TypeError("save_classifier expects an IustitiaClassifier")
+    payload = {
+        "format": "repro/iustitia",
+        "version": _VERSION,
+        "model_kind": classifier.model_kind,
+        "buffer_size": classifier.buffer_size,
+        "training": classifier.training.value,
+        "header_threshold": classifier.header_threshold,
+        "feature_widths": list(classifier.feature_set.widths),
+        "feature_name": classifier.feature_set.name,
+        "model": model_to_dict(classifier._model),
+    }
+    if classifier.estimator is not None:
+        payload["estimator"] = {
+            "epsilon": classifier.estimator.epsilon,
+            "delta": classifier.estimator.delta,
+            "buffer_size": classifier.estimator.budget.buffer_size,
+        }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_classifier(path):
+    """Load a classifier written by :func:`save_classifier`."""
+    from repro.core.classifier import IustitiaClassifier, TrainingMethod
+    from repro.core.estimation import EntropyEstimator
+    from repro.core.features import FeatureSet
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "repro/iustitia":
+        raise ValueError(f"unknown classifier format {payload.get('format')!r}")
+    if payload.get("version") != _VERSION:
+        raise ValueError(f"unsupported classifier version {payload.get('version')!r}")
+    feature_set = FeatureSet(
+        payload["feature_name"], tuple(payload["feature_widths"])
+    )
+    estimator = None
+    if "estimator" in payload:
+        estimator = EntropyEstimator(
+            epsilon=payload["estimator"]["epsilon"],
+            delta=payload["estimator"]["delta"],
+            buffer_size=payload["estimator"]["buffer_size"],
+            features=feature_set,
+        )
+    classifier = IustitiaClassifier(
+        model=payload["model_kind"],
+        feature_set=feature_set,
+        buffer_size=payload["buffer_size"],
+        training=TrainingMethod(payload["training"]),
+        header_threshold=payload["header_threshold"],
+        estimator=estimator,
+    )
+    classifier._model = model_from_dict(payload["model"])
+    return classifier

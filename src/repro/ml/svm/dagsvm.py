@@ -1,0 +1,97 @@
+"""DAGSVM multi-class classification (Platt, Cristianini, Shawe-Taylor).
+
+Trains one binary SVM per unordered class pair, then classifies through a
+Decision Directed Acyclic Graph: start with the full candidate list, and at
+each step evaluate the classifier for (first, last) candidates, eliminating
+the losing class. For ``k`` classes this costs ``k - 1`` kernel evaluations
+per sample instead of ``k (k - 1) / 2`` — the reason the paper picks DAGSVM
+as "the fastest among other multi-class voting methods" (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fitted, check_X, check_X_y
+from repro.ml.svm.binary import BinarySVC
+from repro.ml.svm.kernels import Kernel, RbfKernel
+
+__all__ = ["DagSvmClassifier"]
+
+
+class DagSvmClassifier:
+    """Multi-class SVM via pairwise binary SVMs and DDAG evaluation."""
+
+    def __init__(
+        self,
+        C: float = 1000.0,
+        kernel: "Kernel | None" = None,
+        tol: float = 1e-3,
+        max_iter: int = 100_000,
+    ) -> None:
+        self.C = C
+        self.kernel = kernel if kernel is not None else RbfKernel(gamma=50.0)
+        self.tol = tol
+        self.max_iter = max_iter
+        self.classes_: "np.ndarray | None" = None
+        self.pairwise_: "dict[tuple[int, int], BinarySVC] | None" = None
+
+    def fit(self, X, y) -> "DagSvmClassifier":
+        """Train all ``k (k - 1) / 2`` pairwise SVMs; returns self."""
+        features, labels = check_X_y(X, y)
+        self.classes_ = np.unique(labels)
+        if self.classes_.size < 2:
+            raise ValueError("need at least 2 classes")
+        self.pairwise_ = {}
+        for a in range(self.classes_.size):
+            for b in range(a + 1, self.classes_.size):
+                mask = (labels == self.classes_[a]) | (labels == self.classes_[b])
+                svc = BinarySVC(
+                    C=self.C, kernel=self.kernel, tol=self.tol, max_iter=self.max_iter
+                )
+                svc.fit(features[mask], labels[mask])
+                self.pairwise_[(a, b)] = svc
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted class labels for each row of ``X``.
+
+        The DDAG descent is batched: every sample tracks its candidate
+        interval ``[lo, hi]``; samples at the same DAG node are evaluated
+        through one vectorized kernel call. Each sample still consults
+        exactly ``k - 1`` binary machines — the property the paper adopts
+        DAGSVM for.
+        """
+        features = check_X(X)
+        check_fitted(self, "pairwise_")
+        n = features.shape[0]
+        lo = np.zeros(n, dtype=np.int64)
+        hi = np.full(n, self.classes_.size - 1, dtype=np.int64)
+        while True:
+            active = lo < hi
+            if not np.any(active):
+                break
+            pairs = {}
+            active_idx = np.flatnonzero(active)
+            for i in active_idx.tolist():
+                pairs.setdefault((int(lo[i]), int(hi[i])), []).append(i)
+            for (a, b), members in pairs.items():
+                rows = np.asarray(members, dtype=np.int64)
+                svc = self.pairwise_[(a, b)]
+                predicted_b = svc.decision_function(features[rows]) >= 0.0
+                # BinarySVC maps the smaller label (class a) to the
+                # negative side: positive scores eliminate class a.
+                lo[rows[predicted_b]] = a + 1
+                hi[rows[~predicted_b]] = b - 1
+        return self.classes_[lo]
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on (X, y)."""
+        labels = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == labels))
+
+    @property
+    def total_support_vectors_(self) -> int:
+        """Sum of support-vector counts across the pairwise machines."""
+        check_fitted(self, "pairwise_")
+        return sum(svc.n_support_ for svc in self.pairwise_.values())

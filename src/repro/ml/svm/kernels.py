@@ -1,0 +1,87 @@
+"""Kernel functions with vectorized Gram-matrix evaluation.
+
+The paper's best model is an RBF kernel with ``gamma = 50`` and
+``C = 1000`` (Section 3.2), re-selected to ``gamma = 10`` after switching
+to estimated entropy vectors (Section 4.4.2). Entropy features already
+live in ``[0, 1]``, which is why such large gammas are usable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Kernel", "LinearKernel", "PolynomialKernel", "RbfKernel"]
+
+
+class Kernel:
+    """Base kernel: callable on two sample matrices, returns the Gram matrix."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        """``K(x_i, x_i)`` for each row — cheaper than the full Gram diagonal."""
+        out = np.empty(X.shape[0], dtype=np.float64)
+        for i in range(X.shape[0]):
+            out[i] = float(self(X[i : i + 1], X[i : i + 1])[0, 0])
+        return out
+
+
+class LinearKernel(Kernel):
+    """``K(x, y) = <x, y>``."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return np.asarray(X, dtype=np.float64) @ np.asarray(Y, dtype=np.float64).T
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        arr = np.asarray(X, dtype=np.float64)
+        return (arr * arr).sum(axis=1)
+
+    def __repr__(self) -> str:
+        return "LinearKernel()"
+
+
+class PolynomialKernel(Kernel):
+    """``K(x, y) = (gamma <x, y> + coef0)^degree``."""
+
+    def __init__(self, degree: int = 3, gamma: float = 1.0, coef0: float = 1.0) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.degree = degree
+        self.gamma = gamma
+        self.coef0 = coef0
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        inner = np.asarray(X, dtype=np.float64) @ np.asarray(Y, dtype=np.float64).T
+        return (self.gamma * inner + self.coef0) ** self.degree
+
+    def __repr__(self) -> str:
+        return (
+            f"PolynomialKernel(degree={self.degree}, gamma={self.gamma}, "
+            f"coef0={self.coef0})"
+        )
+
+
+class RbfKernel(Kernel):
+    """``K(x, y) = exp(-gamma ||x - y||^2)`` (the paper's kernel)."""
+
+    def __init__(self, gamma: float = 50.0) -> None:
+        if gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {gamma}")
+        self.gamma = gamma
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        left = np.asarray(X, dtype=np.float64)
+        right = np.asarray(Y, dtype=np.float64)
+        sq_left = (left**2).sum(axis=1)[:, None]
+        sq_right = (right**2).sum(axis=1)[None, :]
+        sq_dist = np.maximum(sq_left + sq_right - 2.0 * left @ right.T, 0.0)
+        return np.exp(-self.gamma * sq_dist)
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(np.asarray(X).shape[0], dtype=np.float64)
+
+    def __repr__(self) -> str:
+        return f"RbfKernel(gamma={self.gamma})"

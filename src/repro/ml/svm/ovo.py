@@ -1,0 +1,82 @@
+"""One-vs-one max-wins voting multi-class SVM (Hsu & Lin's comparison).
+
+Same pairwise machines as DAGSVM but every classifier votes on every
+sample; ties break toward the larger aggregate decision margin. Included as
+the ablation baseline for the paper's choice of DAGSVM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fitted, check_X, check_X_y
+from repro.ml.svm.binary import BinarySVC
+from repro.ml.svm.kernels import Kernel, RbfKernel
+
+__all__ = ["OneVsOneSVC"]
+
+
+class OneVsOneSVC:
+    """Multi-class SVM via pairwise machines and max-wins voting."""
+
+    def __init__(
+        self,
+        C: float = 1000.0,
+        kernel: "Kernel | None" = None,
+        tol: float = 1e-3,
+        max_iter: int = 100_000,
+    ) -> None:
+        self.C = C
+        self.kernel = kernel if kernel is not None else RbfKernel(gamma=50.0)
+        self.tol = tol
+        self.max_iter = max_iter
+        self.classes_: "np.ndarray | None" = None
+        self.pairwise_: "dict[tuple[int, int], BinarySVC] | None" = None
+
+    def fit(self, X, y) -> "OneVsOneSVC":
+        """Train all pairwise SVMs; returns self."""
+        features, labels = check_X_y(X, y)
+        self.classes_ = np.unique(labels)
+        if self.classes_.size < 2:
+            raise ValueError("need at least 2 classes")
+        self.pairwise_ = {}
+        for a in range(self.classes_.size):
+            for b in range(a + 1, self.classes_.size):
+                mask = (labels == self.classes_[a]) | (labels == self.classes_[b])
+                svc = BinarySVC(
+                    C=self.C, kernel=self.kernel, tol=self.tol, max_iter=self.max_iter
+                )
+                svc.fit(features[mask], labels[mask])
+                self.pairwise_[(a, b)] = svc
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        """Max-wins vote across all pairwise machines."""
+        features = check_X(X)
+        check_fitted(self, "pairwise_")
+        n = features.shape[0]
+        k = self.classes_.size
+        votes = np.zeros((n, k), dtype=np.int64)
+        margins = np.zeros((n, k), dtype=np.float64)
+        for (a, b), svc in self.pairwise_.items():
+            scores = svc.decision_function(features)
+            # BinarySVC maps the smaller label to -1; classes_ is sorted, so
+            # a < b means class a is the negative side.
+            b_wins = scores >= 0.0
+            votes[:, b] += b_wins
+            votes[:, a] += ~b_wins
+            margins[:, b] += np.abs(scores) * b_wins
+            margins[:, a] += np.abs(scores) * (~b_wins)
+        out = np.empty(n, dtype=self.classes_.dtype)
+        for i in range(n):
+            best = np.flatnonzero(votes[i] == votes[i].max())
+            if best.size == 1:
+                out[i] = self.classes_[best[0]]
+            else:
+                out[i] = self.classes_[best[np.argmax(margins[i, best])]]
+        return out
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on (X, y)."""
+        labels = np.asarray(y).ravel()
+        return float(np.mean(self.predict(X) == labels))

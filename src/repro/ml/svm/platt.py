@@ -1,0 +1,116 @@
+"""Platt scaling: calibrated probabilities from SVM decision values.
+
+Fits the sigmoid ``P(y = +1 | f) = 1 / (1 + exp(-(A f + B)))`` by
+regularized maximum likelihood (so ``A > 0`` when larger decision values
+mean the positive class), using the robust Newton method of Lin, Lin & Weng
+("A note on Platt's probabilistic outputs for support vector machines",
+2007) — the same algorithm libsvm uses. Useful when Iustitia's labels
+feed a downstream cost-sensitive decision (e.g. an IDS that only reroutes
+a flow when confident).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["SigmoidCalibrator", "fit_sigmoid"]
+
+
+def fit_sigmoid(
+    decision_values: "np.ndarray | list[float]",
+    labels: "np.ndarray | list[float]",
+    max_iter: int = 100,
+    tol: float = 1e-10,
+) -> tuple[float, float]:
+    """Fit ``(A, B)`` of the Platt sigmoid to (decision value, label) pairs.
+
+    ``labels`` are +1/-1 (or truthy/falsy). Targets are smoothed with the
+    Platt prior counts to avoid overconfidence on separable data.
+    """
+    f = np.asarray(decision_values, dtype=np.float64).ravel()
+    y = np.asarray(labels, dtype=np.float64).ravel()
+    if f.size != y.size:
+        raise ValueError(f"{f.size} decision values but {y.size} labels")
+    if f.size == 0:
+        raise ValueError("need at least one sample")
+    positive = y > 0
+    n_pos = int(positive.sum())
+    n_neg = int(y.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("need both classes to calibrate")
+
+    hi = (n_pos + 1.0) / (n_pos + 2.0)
+    lo = 1.0 / (n_neg + 2.0)
+    t = np.where(positive, hi, lo)
+
+    a, b = 0.0, math.log((n_neg + 1.0) / (n_pos + 1.0))
+    sigma = 1e-12  # Hessian regularizer
+
+    def objective(a_, b_):
+        z = a_ * f + b_
+        # log(1 + exp(z)) - t z, computed stably for both signs of z.
+        return float(
+            np.sum(np.where(z >= 0, z + np.log1p(np.exp(-z)), np.log1p(np.exp(z)))
+                   - t * z)
+        )
+
+    value = objective(a, b)
+    for _ in range(max_iter):
+        z = a * f + b
+        p = np.where(
+            z >= 0, 1.0 / (1.0 + np.exp(-z)), np.exp(z) / (1.0 + np.exp(z))
+        )
+        d1 = p - t  # dObj/dz per sample
+        grad_a = float(np.dot(f, d1))
+        grad_b = float(np.sum(d1))
+        if abs(grad_a) < tol and abs(grad_b) < tol:
+            break
+        d2 = p * (1.0 - p)
+        h11 = float(np.dot(f * f, d2)) + sigma
+        h22 = float(np.sum(d2)) + sigma
+        h21 = float(np.dot(f, d2))
+        det = h11 * h22 - h21 * h21
+        if det <= 0:
+            break
+        step_a = -(h22 * grad_a - h21 * grad_b) / det
+        step_b = -(h11 * grad_b - h21 * grad_a) / det
+        # Backtracking line search.
+        stepsize = 1.0
+        while stepsize >= 1e-10:
+            new_a = a + stepsize * step_a
+            new_b = b + stepsize * step_b
+            new_value = objective(new_a, new_b)
+            if new_value < value + 1e-4 * stepsize * (
+                grad_a * step_a + grad_b * step_b
+            ):
+                a, b, value = new_a, new_b, new_value
+                break
+            stepsize /= 2.0
+        else:
+            break
+    return a, b
+
+
+class SigmoidCalibrator:
+    """Platt sigmoid bound to a fitted binary SVC."""
+
+    def __init__(self, a: float, b: float) -> None:
+        self.a = a
+        self.b = b
+
+    @classmethod
+    def fit(cls, svc, X, y) -> "SigmoidCalibrator":
+        """Calibrate on held-out data: ``y`` in the SVC's label space."""
+        labels = np.asarray(y).ravel()
+        signed = np.where(labels == svc.classes_[1], 1.0, -1.0)
+        a, b = fit_sigmoid(svc.decision_function(X), signed)
+        return cls(a, b)
+
+    def probability(self, decision_values) -> np.ndarray:
+        """``P(larger class | f)`` for each decision value."""
+        z = self.a * np.asarray(decision_values, dtype=np.float64) + self.b
+        return np.where(
+            z >= 0, 1.0 / (1.0 + np.exp(-z)), np.exp(z) / (1.0 + np.exp(z))
+        )

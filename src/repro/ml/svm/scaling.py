@@ -1,0 +1,68 @@
+"""Feature scaling transformers.
+
+Entropy features are already in ``[0, 1]``, so the paper needs no scaling;
+these transformers are provided for users feeding other feature spaces into
+the SVMs (RBF kernels are scale-sensitive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import check_fitted, check_X
+
+__all__ = ["MinMaxScaler", "StandardScaler"]
+
+
+class MinMaxScaler:
+    """Scale each feature linearly into ``[0, 1]`` (constant features -> 0)."""
+
+    def __init__(self) -> None:
+        self.min_: "np.ndarray | None" = None
+        self.range_: "np.ndarray | None" = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        arr = check_X(X)
+        self.min_ = arr.min(axis=0)
+        spread = arr.max(axis=0) - self.min_
+        self.range_ = np.where(spread > 0, spread, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        arr = check_X(X)
+        check_fitted(self, "min_")
+        if arr.shape[1] != self.min_.size:
+            raise ValueError(
+                f"X has {arr.shape[1]} features, scaler was fit on {self.min_.size}"
+            )
+        return (arr - self.min_) / self.range_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class StandardScaler:
+    """Scale each feature to zero mean, unit variance (constant features -> 0)."""
+
+    def __init__(self) -> None:
+        self.mean_: "np.ndarray | None" = None
+        self.scale_: "np.ndarray | None" = None
+
+    def fit(self, X) -> "StandardScaler":
+        arr = check_X(X)
+        self.mean_ = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        arr = check_X(X)
+        check_fitted(self, "mean_")
+        if arr.shape[1] != self.mean_.size:
+            raise ValueError(
+                f"X has {arr.shape[1]} features, scaler was fit on {self.mean_.size}"
+            )
+        return (arr - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)

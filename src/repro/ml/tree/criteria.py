@@ -1,0 +1,37 @@
+"""Impurity criteria for CART split selection."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["entropy_impurity", "gini_impurity", "impurity_function"]
+
+
+def gini_impurity(class_counts: np.ndarray) -> float:
+    """Gini impurity ``1 - sum_c p_c^2`` of a class-count vector."""
+    counts = np.asarray(class_counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = counts / total
+    return float(1.0 - (probs**2).sum())
+
+
+def entropy_impurity(class_counts: np.ndarray) -> float:
+    """Shannon-entropy impurity (bits) of a class-count vector."""
+    counts = np.asarray(class_counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    probs = counts / total
+    nonzero = probs[probs > 0]
+    return float(-(nonzero * np.log2(nonzero)).sum())
+
+
+def impurity_function(name: str):
+    """Resolve an impurity criterion by name ('gini' or 'entropy')."""
+    table = {"gini": gini_impurity, "entropy": entropy_impurity}
+    try:
+        return table[name]
+    except KeyError:
+        raise ValueError(f"unknown criterion {name!r}; expected one of {sorted(table)}")

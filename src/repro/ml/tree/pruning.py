@@ -1,0 +1,151 @@
+"""Cost-complexity (weakest-link) pruning for CART trees.
+
+Provides the pruning path of Breiman et al. and the paper's "prune until a
+2% accuracy decrease" rule used for feature voting (Section 4.1).
+
+Pruning operates on *copies*: the fitted classifier passed in is never
+mutated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.tree.cart import DecisionTreeClassifier, TreeNode
+
+__all__ = ["cost_complexity_path", "prune_to_accuracy", "pruned_copy"]
+
+
+def _node_risk(node: TreeNode, n_total: int) -> float:
+    """Resubstitution risk contribution R(t) of a node as a leaf."""
+    counts = node.class_counts
+    n_node = counts.sum()
+    if n_node == 0:
+        return 0.0
+    return float((n_node - counts.max()) / n_total)
+
+
+def _subtree_risk_and_leaves(node: TreeNode, n_total: int) -> tuple[float, int]:
+    """(R(T_t), leaf count) of the subtree rooted at ``node``.
+
+    Iterative: degenerate trees can be deeper than the recursion limit.
+    """
+    risk = 0.0
+    leaves = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            risk += _node_risk(current, n_total)
+            leaves += 1
+        else:
+            stack.append(current.left)
+            stack.append(current.right)
+    return risk, leaves
+
+
+def _clone_classifier(
+    clf: DecisionTreeClassifier, root: TreeNode
+) -> DecisionTreeClassifier:
+    """A new classifier object sharing hyper-parameters with ``clf`` but
+    owning ``root`` as its fitted tree."""
+    clone = DecisionTreeClassifier(
+        criterion=clf.criterion,
+        max_depth=clf.max_depth,
+        min_samples_split=clf.min_samples_split,
+        min_samples_leaf=clf.min_samples_leaf,
+        min_impurity_decrease=clf.min_impurity_decrease,
+    )
+    clone.root_ = root
+    clone.classes_ = clf.classes_
+    clone.n_features_ = clf.n_features_
+    return clone
+
+
+def pruned_copy(
+    clf: DecisionTreeClassifier, collapse_ids: set[int]
+) -> DecisionTreeClassifier:
+    """Copy of ``clf`` with the internal nodes in ``collapse_ids`` made leaves."""
+    if clf.root_ is None:
+        raise ValueError("classifier must be fitted before pruning")
+
+    def clone_shallow(node: TreeNode) -> TreeNode:
+        return TreeNode(
+            class_counts=node.class_counts.copy(),
+            depth=node.depth,
+            node_id=node.node_id,
+            impurity=node.impurity,
+        )
+
+    root = clone_shallow(clf.root_)
+    stack = [(clf.root_, root)]
+    while stack:
+        source, target = stack.pop()
+        if source.is_leaf or source.node_id in collapse_ids:
+            continue
+        target.feature = source.feature
+        target.threshold = source.threshold
+        target.left = clone_shallow(source.left)
+        target.right = clone_shallow(source.right)
+        stack.append((source.left, target.left))
+        stack.append((source.right, target.right))
+
+    return _clone_classifier(clf, root)
+
+
+def cost_complexity_path(
+    clf: DecisionTreeClassifier,
+) -> list[tuple[float, DecisionTreeClassifier]]:
+    """The weakest-link pruning sequence ``[(alpha, subtree), ...]``.
+
+    Starts at ``alpha = 0`` with the full tree and repeatedly collapses the
+    internal node with the smallest link strength
+    ``g(t) = (R(t) - R(T_t)) / (|leaves(T_t)| - 1)`` until only the root
+    remains. Alphas are non-decreasing along the path.
+    """
+    if clf.root_ is None:
+        raise ValueError("classifier must be fitted before pruning")
+    n_total = clf.root_.n_samples
+    collapsed: set[int] = set()
+    path: list[tuple[float, DecisionTreeClassifier]] = [(0.0, pruned_copy(clf, set()))]
+    while True:
+        current = pruned_copy(clf, collapsed)
+        internal = [node for node in current.nodes() if not node.is_leaf]
+        if not internal:
+            break
+        weakest_id = -1
+        weakest_g = np.inf
+        for node in internal:
+            subtree_risk, leaves = _subtree_risk_and_leaves(node, n_total)
+            g = (_node_risk(node, n_total) - subtree_risk) / max(leaves - 1, 1)
+            if g < weakest_g:
+                weakest_g = g
+                weakest_id = node.node_id
+        collapsed.add(weakest_id)
+        path.append((float(max(weakest_g, 0.0)), pruned_copy(clf, collapsed)))
+    return path
+
+
+def prune_to_accuracy(
+    clf: DecisionTreeClassifier,
+    X_val,
+    y_val,
+    max_drop: float = 0.02,
+) -> DecisionTreeClassifier:
+    """Smallest subtree on the pruning path within ``max_drop`` of full accuracy.
+
+    Implements the paper's feature-voting preprocessing: "we prune the trees
+    until we reach the threshold of 2% decrease in accuracy". Validation
+    accuracy is measured on ``(X_val, y_val)``.
+    """
+    if not 0.0 <= max_drop < 1.0:
+        raise ValueError(f"max_drop must be in [0, 1), got {max_drop}")
+    path = cost_complexity_path(clf)
+    base_accuracy = path[0][1].score(X_val, y_val)
+    chosen = path[0][1]
+    for _alpha, subtree in path[1:]:
+        if subtree.score(X_val, y_val) >= base_accuracy - max_drop:
+            chosen = subtree
+        else:
+            break
+    return chosen

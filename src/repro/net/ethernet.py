@@ -1,0 +1,68 @@
+"""Ethernet (IEEE 802.3) framing.
+
+Real gateway captures are usually taken at the link layer; this module
+provides the 14-byte Ethernet II header so the pcap reader/writer can
+handle LINKTYPE_ETHERNET files in addition to raw-IP ones.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = ["ETHERTYPE_IPV4", "EthernetHeader"]
+
+#: EtherType for IPv4 payloads.
+ETHERTYPE_IPV4 = 0x0800
+
+
+def _mac_to_bytes(mac: str) -> bytes:
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address {mac!r}")
+    try:
+        raw = bytes(int(p, 16) for p in parts)
+    except ValueError:
+        raise ValueError(f"invalid MAC address {mac!r}")
+    return raw
+
+
+def _bytes_to_mac(raw: bytes) -> str:
+    return ":".join(f"{b:02x}" for b in raw)
+
+
+@dataclass(frozen=True)
+class EthernetHeader:
+    """Ethernet II header: destination MAC, source MAC, EtherType."""
+
+    dst: str = "ff:ff:ff:ff:ff:ff"
+    src: str = "02:00:00:00:00:01"
+    ethertype: int = ETHERTYPE_IPV4
+
+    HEADER_LEN = 14
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the 14-byte wire format."""
+        if not 0 <= self.ethertype <= 0xFFFF:
+            raise ValueError(f"invalid ethertype {self.ethertype:#x}")
+        return (
+            _mac_to_bytes(self.dst)
+            + _mac_to_bytes(self.src)
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EthernetHeader":
+        """Parse the first 14 bytes of ``data`` as an Ethernet II header."""
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(
+                f"Ethernet header needs {cls.HEADER_LEN} bytes, got {len(data)}"
+            )
+        dst = _bytes_to_mac(data[0:6])
+        src = _bytes_to_mac(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst=dst, src=src, ethertype=ethertype)
+
+    @property
+    def is_ipv4(self) -> bool:
+        return self.ethertype == ETHERTYPE_IPV4

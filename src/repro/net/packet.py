@@ -1,0 +1,309 @@
+"""IPv4 / TCP / UDP packet model with wire-format serialization.
+
+Implements the header fields Iustitia consumes — the 5-tuple, TCP flags
+(FIN/RST drive CDB purging), lengths — plus enough of the rest (checksums,
+TTL, sequence numbers) that serialized packets survive a round-trip through
+the pcap reader/writer and external tools would parse them.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Ipv4Header",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "TcpHeader",
+    "UdpHeader",
+    "internet_checksum",
+]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+# TCP flag bits.
+FLAG_FIN = 0x01
+FLAG_SYN = 0x02
+FLAG_RST = 0x04
+FLAG_PSH = 0x08
+FLAG_ACK = 0x10
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over ``data`` (odd lengths padded)."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def _ip_to_int(address: str) -> int:
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def _int_to_ip(value: int) -> str:
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+@dataclass
+class Ipv4Header:
+    """IPv4 header.
+
+    Serialization always emits the 20-byte optionless form; parsing
+    accepts headers with options (IHL > 5) and records the real header
+    length in ``ihl_bytes`` so callers slice the payload correctly.
+    """
+
+    src: str
+    dst: str
+    protocol: int
+    total_length: int = 0
+    identification: int = 0
+    ttl: int = 64
+    ihl_bytes: int = 20
+
+    HEADER_LEN = 20
+
+    def to_bytes(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        version_ihl = (4 << 4) | 5
+        head = struct.pack(
+            "!BBHHHBBH4s4s",
+            version_ihl,
+            0,
+            self.total_length,
+            self.identification,
+            0,  # flags/fragment offset
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            _ip_to_int(self.src).to_bytes(4, "big"),
+            _ip_to_int(self.dst).to_bytes(4, "big"),
+        )
+        checksum = internet_checksum(head)
+        return head[:10] + struct.pack("!H", checksum) + head[12:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Ipv4Header":
+        """Parse the first 20 bytes of ``data`` as an IPv4 header."""
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"IPv4 header needs 20 bytes, got {len(data)}")
+        (
+            version_ihl,
+            _tos,
+            total_length,
+            identification,
+            _frag,
+            ttl,
+            protocol,
+            _checksum,
+            src_raw,
+            dst_raw,
+        ) = struct.unpack("!BBHHHBBH4s4s", data[: cls.HEADER_LEN])
+        if version_ihl >> 4 != 4:
+            raise ValueError(f"not an IPv4 packet (version {version_ihl >> 4})")
+        ihl_bytes = (version_ihl & 0x0F) * 4
+        if ihl_bytes < cls.HEADER_LEN:
+            raise ValueError(f"invalid IPv4 IHL {ihl_bytes}")
+        if len(data) < ihl_bytes:
+            raise ValueError(
+                f"IPv4 header claims {ihl_bytes} bytes, got {len(data)}"
+            )
+        return cls(
+            src=_int_to_ip(int.from_bytes(src_raw, "big")),
+            dst=_int_to_ip(int.from_bytes(dst_raw, "big")),
+            protocol=protocol,
+            total_length=total_length,
+            identification=identification,
+            ttl=ttl,
+            ihl_bytes=ihl_bytes,
+        )
+
+
+@dataclass
+class TcpHeader:
+    """TCP header.
+
+    Options are preserved as raw bytes: real captures carry MSS/SACK/
+    timestamp options, and the payload boundary depends on the data
+    offset. Serialization pads options to a 4-byte multiple.
+    """
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = FLAG_ACK
+    window: int = 65535
+    options: bytes = b""
+
+    HEADER_LEN = 20
+    MAX_OPTIONS = 40
+
+    @property
+    def fin(self) -> bool:
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def rst(self) -> bool:
+        return bool(self.flags & FLAG_RST)
+
+    @property
+    def syn(self) -> bool:
+        return bool(self.flags & FLAG_SYN)
+
+    def to_bytes(self) -> bytes:
+        """Serialize (checksum left zero; Iustitia never verifies it)."""
+        if len(self.options) > self.MAX_OPTIONS:
+            raise ValueError(
+                f"TCP options limited to {self.MAX_OPTIONS} bytes, "
+                f"got {len(self.options)}"
+            )
+        padding = (-len(self.options)) % 4
+        options = self.options + b"\x00" * padding
+        data_offset = ((self.HEADER_LEN + len(options)) // 4) << 4
+        return struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset,
+            self.flags,
+            self.window,
+            0,
+            0,
+        ) + options
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TcpHeader":
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"TCP header needs 20 bytes, got {len(data)}")
+        src_port, dst_port, seq, ack, offset_byte, flags, window, _cs, _urg = (
+            struct.unpack("!HHIIBBHHH", data[: cls.HEADER_LEN])
+        )
+        offset_bytes = (offset_byte >> 4) * 4
+        if offset_bytes < cls.HEADER_LEN:
+            raise ValueError(f"invalid TCP data offset {offset_bytes}")
+        if len(data) < offset_bytes:
+            raise ValueError(
+                f"TCP header claims {offset_bytes} bytes, got {len(data)}"
+            )
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            options=bytes(data[cls.HEADER_LEN : offset_bytes]),
+        )
+
+    def data_offset_bytes(self) -> int:
+        """Header length in bytes, options (padded) included."""
+        return self.HEADER_LEN + len(self.options) + (-len(self.options)) % 4
+
+
+@dataclass
+class UdpHeader:
+    """UDP header."""
+
+    src_port: int
+    dst_port: int
+    length: int = 8
+
+    HEADER_LEN = 8
+
+    def to_bytes(self) -> bytes:
+        return struct.pack("!HHHH", self.src_port, self.dst_port, self.length, 0)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "UdpHeader":
+        if len(data) < cls.HEADER_LEN:
+            raise ValueError(f"UDP header needs 8 bytes, got {len(data)}")
+        src_port, dst_port, length, _cs = struct.unpack("!HHHH", data[: cls.HEADER_LEN])
+        return cls(src_port=src_port, dst_port=dst_port, length=length)
+
+
+@dataclass
+class Packet:
+    """A full IP packet: IPv4 header, TCP or UDP header, payload, timestamp."""
+
+    ip: Ipv4Header
+    transport: "TcpHeader | UdpHeader"
+    payload: bytes = b""
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        expected = PROTO_TCP if isinstance(self.transport, TcpHeader) else PROTO_UDP
+        if self.ip.protocol != expected:
+            raise ValueError(
+                f"IP protocol {self.ip.protocol} does not match transport "
+                f"{type(self.transport).__name__}"
+            )
+
+    @property
+    def is_tcp(self) -> bool:
+        return isinstance(self.transport, TcpHeader)
+
+    @property
+    def five_tuple(self) -> tuple[str, int, str, int, int]:
+        """(src ip, src port, dst ip, dst port, protocol)."""
+        return (
+            self.ip.src,
+            self.transport.src_port,
+            self.ip.dst,
+            self.transport.dst_port,
+            self.ip.protocol,
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole packet (IP total length fixed up)."""
+        transport_bytes = self.transport.to_bytes()
+        total = Ipv4Header.HEADER_LEN + len(transport_bytes) + len(self.payload)
+        header = Ipv4Header(
+            src=self.ip.src,
+            dst=self.ip.dst,
+            protocol=self.ip.protocol,
+            total_length=total,
+            identification=self.ip.identification,
+            ttl=self.ip.ttl,
+        )
+        if isinstance(self.transport, UdpHeader):
+            transport_bytes = UdpHeader(
+                src_port=self.transport.src_port,
+                dst_port=self.transport.dst_port,
+                length=UdpHeader.HEADER_LEN + len(self.payload),
+            ).to_bytes()
+        return header.to_bytes() + transport_bytes + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse a serialized IPv4 packet (TCP or UDP); IP options skipped."""
+        ip = Ipv4Header.from_bytes(data)
+        body = data[ip.ihl_bytes : ip.total_length or len(data)]
+        if ip.protocol == PROTO_TCP:
+            transport: "TcpHeader | UdpHeader" = TcpHeader.from_bytes(body)
+            payload = bytes(body[transport.data_offset_bytes() :])
+        elif ip.protocol == PROTO_UDP:
+            transport = UdpHeader.from_bytes(body)
+            payload = bytes(body[UdpHeader.HEADER_LEN :])
+        else:
+            raise ValueError(f"unsupported IP protocol {ip.protocol}")
+        return cls(ip=ip, transport=transport, payload=payload, timestamp=timestamp)

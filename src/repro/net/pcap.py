@@ -1,0 +1,119 @@
+"""Classic pcap file format reader/writer.
+
+Implements the original libpcap format (magic ``0xa1b2c3d4``, microsecond
+timestamps) with two link types: raw IPv4 (the writer's default — packets
+begin directly with the IP header) and Ethernet II (what most real
+captures use; the reader strips the 14-byte frame header, the writer can
+synthesize one). Serialized :class:`Packet` objects round-trip through
+files that standard tools can also open.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.packet import Packet
+
+__all__ = ["LINKTYPE_ETHERNET", "LINKTYPE_RAW", "read_pcap", "write_pcap"]
+
+_MAGIC = 0xA1B2C3D4
+_MAGIC_SWAPPED = 0xD4C3B2A1
+_VERSION = (2, 4)
+
+#: Raw IP link type: packets begin directly with the IPv4 header.
+LINKTYPE_RAW = 101
+
+#: Ethernet II link type: packets carry a 14-byte frame header.
+LINKTYPE_ETHERNET = 1
+
+
+def write_pcap(
+    path: "str | Path",
+    packets: "list[Packet]",
+    linktype: int = LINKTYPE_RAW,
+) -> None:
+    """Write packets to ``path`` in classic pcap format.
+
+    ``linktype`` selects raw IP (default) or Ethernet II; with Ethernet, a
+    synthetic broadcast frame header is prepended to each packet.
+    """
+    if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
+        raise ValueError(f"unsupported link type {linktype}")
+    frame = EthernetHeader().to_bytes() if linktype == LINKTYPE_ETHERNET else b""
+    with open(path, "wb") as handle:
+        handle.write(
+            struct.pack(
+                "!IHHiIII",
+                _MAGIC,
+                _VERSION[0],
+                _VERSION[1],
+                0,  # thiszone
+                0,  # sigfigs
+                65535,  # snaplen
+                linktype,
+            )
+        )
+        for packet in packets:
+            data = frame + packet.to_bytes()
+            seconds = int(packet.timestamp)
+            micros = int(round((packet.timestamp - seconds) * 1_000_000))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            handle.write(struct.pack("!IIII", seconds, micros, len(data), len(data)))
+            handle.write(data)
+
+
+def read_pcap(path: "str | Path") -> list[Packet]:
+    """Read a classic pcap file (raw-IP or Ethernet link type).
+
+    Handles both byte orders; Ethernet frames are stripped (non-IPv4
+    frames are skipped); rejects pcapng and other link types with a clear
+    error rather than misparsing.
+    """
+    with open(path, "rb") as handle:
+        global_header = handle.read(24)
+        if len(global_header) < 24:
+            raise ValueError(f"{path}: truncated pcap global header")
+        magic = struct.unpack("!I", global_header[:4])[0]
+        if magic == _MAGIC:
+            order = "!"
+        elif magic == _MAGIC_SWAPPED:
+            order = "<"
+        else:
+            raise ValueError(
+                f"{path}: unrecognized pcap magic 0x{magic:08x} "
+                "(pcapng and nanosecond formats are not supported)"
+            )
+        _vmaj, _vmin, _zone, _sig, _snap, linktype = struct.unpack(
+            order + "HHiIII", global_header[4:]
+        )
+        if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
+            raise ValueError(
+                f"{path}: link type {linktype} unsupported (expected raw IP "
+                f"{LINKTYPE_RAW} or Ethernet {LINKTYPE_ETHERNET})"
+            )
+        packets: list[Packet] = []
+        while True:
+            record_header = handle.read(16)
+            if not record_header:
+                break
+            if len(record_header) < 16:
+                raise ValueError(f"{path}: truncated pcap record header")
+            seconds, micros, captured, _original = struct.unpack(
+                order + "IIII", record_header
+            )
+            data = handle.read(captured)
+            if len(data) < captured:
+                raise ValueError(f"{path}: truncated pcap record body")
+            if linktype == LINKTYPE_ETHERNET:
+                frame = EthernetHeader.from_bytes(data)
+                if not frame.is_ipv4:
+                    continue  # ARP/IPv6/etc.: not Iustitia traffic
+                data = data[EthernetHeader.HEADER_LEN :]
+            packets.append(
+                Packet.from_bytes(data, timestamp=seconds + micros / 1_000_000)
+            )
+        return packets

@@ -1,0 +1,183 @@
+"""Single-pass stream entropy estimation (Lall et al., SIGMETRICS 2006).
+
+Estimates ``S = sum_i m_i ln m_i`` over a stream of ``n`` elements, from
+which the (un-normalized) empirical entropy follows as
+``H = ln n - S / n`` nats. The core unbiased estimator: pick a uniformly
+random position in the stream, let ``c`` be the number of occurrences of
+the element at that position from there to the end of the stream, and
+output ``n * (c ln c - (c-1) ln (c-1))``. Variance is reduced by
+median-of-means over ``g`` groups of ``z`` estimators.
+
+Two implementations are provided:
+
+* :func:`estimate_s_from_stream` — offline, over a byte buffer's k-gram
+  stream, with vectorized suffix counting (used by ``repro.core``'s
+  entropy-vector estimator, where the buffer is materialized anyway).
+* :class:`StreamEntropyEstimator` — true one-pass operation over an
+  arbitrary iterable of hashable elements, using per-slot reservoir
+  sampling so the stream length need not be known in advance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.streaming.sketch import median_of_means
+
+__all__ = [
+    "StreamEntropyEstimator",
+    "encode_kgram_stream",
+    "estimate_s_from_stream",
+    "estimate_stream_entropy",
+]
+
+
+def _xlogx_increment(c: np.ndarray) -> np.ndarray:
+    """``c ln c - (c-1) ln (c-1)`` with the convention ``0 ln 0 = 0``."""
+    counts = np.asarray(c, dtype=np.float64)
+    term_c = np.where(counts > 0, counts * np.log(np.maximum(counts, 1.0)), 0.0)
+    prev = counts - 1.0
+    term_prev = np.where(prev > 0, prev * np.log(np.maximum(prev, 1.0)), 0.0)
+    return term_c - term_prev
+
+
+def encode_kgram_stream(data: "bytes | bytearray", k: int) -> np.ndarray:
+    """Encode the k-gram stream of ``data`` as an array of comparable codes.
+
+    For ``k <= 8`` each k-gram packs into a ``uint64`` (fast equality
+    tests); wider grams fall back to a void dtype view. Either encoding
+    supports elementwise ``==`` against a scalar, which is all the suffix
+    counting needs.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    if arr.size < k:
+        raise ValueError(f"need at least k={k} bytes, got {arr.size}")
+    windows = np.lib.stride_tricks.sliding_window_view(arr, k)
+    if k <= 8:
+        weights = (256 ** np.arange(k - 1, -1, -1, dtype=np.uint64)).astype(np.uint64)
+        return (windows.astype(np.uint64) * weights).sum(axis=1)
+    return np.ascontiguousarray(windows).view(np.dtype((np.void, k))).ravel()
+
+
+def estimate_s_from_stream(
+    data: "bytes | bytearray",
+    k: int,
+    groups: int,
+    per_group: int,
+    rng: np.random.Generator,
+) -> float:
+    """Estimate ``S_k = sum_i m_ik ln m_ik`` of ``data``'s k-gram stream.
+
+    Uses ``groups * per_group`` random stream locations with vectorized
+    suffix counting and a median-of-means reduction. Natural-log units.
+    """
+    if groups < 1 or per_group < 1:
+        raise ValueError("groups and per_group must both be >= 1")
+    codes = encode_kgram_stream(data, k)
+    n = codes.size
+    positions = rng.integers(0, n, size=groups * per_group)
+    suffix_counts = np.empty(positions.size, dtype=np.int64)
+    for idx, pos in enumerate(positions.tolist()):
+        suffix_counts[idx] = int(np.count_nonzero(codes[pos:] == codes[pos]))
+    estimates = n * _xlogx_increment(suffix_counts)
+    return median_of_means(estimates, groups)
+
+
+def estimate_stream_entropy(
+    data: "bytes | bytearray",
+    k: int,
+    groups: int,
+    per_group: int,
+    rng: np.random.Generator,
+    base: float | None = None,
+) -> float:
+    """Estimated empirical entropy of ``data``'s k-gram stream.
+
+    ``H = ln n - S/n`` converted to ``base`` (``None`` = nats). The value is
+    clamped below at 0; no upper clamp is applied, so callers normalizing
+    by a large alphabet should clamp to their own feasible range.
+    """
+    codes_len = len(data) - k + 1
+    if codes_len < 1:
+        raise ValueError(f"need at least k={k} bytes, got {len(data)}")
+    s_estimate = estimate_s_from_stream(data, k, groups, per_group, rng)
+    entropy_nats = max(math.log(codes_len) - s_estimate / codes_len, 0.0)
+    if base is None:
+        return entropy_nats
+    if base <= 1:
+        raise ValueError("base must be > 1")
+    return entropy_nats / math.log(base)
+
+
+class StreamEntropyEstimator:
+    """One-pass entropy estimator over an arbitrary element stream.
+
+    Maintains ``groups * per_group`` slots. Each slot tracks a uniformly
+    random stream position via reservoir sampling — on the ``t``-th element
+    the slot adopts it with probability ``1/t`` — together with the count of
+    occurrences of the tracked element seen since adoption. After the
+    stream ends, :meth:`estimate_s` applies the unbiased increment estimator
+    and median-of-means.
+
+    Memory is ``O(groups * per_group)`` regardless of stream length or
+    alphabet size, which is the whole point (Section 4.4 of the paper).
+    """
+
+    def __init__(
+        self, groups: int, per_group: int, rng: "np.random.Generator | None" = None
+    ) -> None:
+        if groups < 1 or per_group < 1:
+            raise ValueError("groups and per_group must both be >= 1")
+        self.groups = groups
+        self.per_group = per_group
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._slots: list[object | None] = [None] * (groups * per_group)
+        self._counts = np.zeros(groups * per_group, dtype=np.int64)
+        self._n = 0
+
+    @property
+    def n(self) -> int:
+        """Number of stream elements consumed so far."""
+        return self._n
+
+    @property
+    def num_counters(self) -> int:
+        """Total slots (the estimator's counter footprint)."""
+        return len(self._slots)
+
+    def update(self, element: object) -> None:
+        """Consume one stream element."""
+        self._n += 1
+        adopt = self._rng.random(len(self._slots)) < (1.0 / self._n)
+        for idx in range(len(self._slots)):
+            if adopt[idx]:
+                self._slots[idx] = element
+                self._counts[idx] = 1
+            elif self._slots[idx] == element:
+                self._counts[idx] += 1
+
+    def consume(self, stream) -> "StreamEntropyEstimator":
+        """Consume every element of an iterable; returns self for chaining."""
+        for element in stream:
+            self.update(element)
+        return self
+
+    def estimate_s(self) -> float:
+        """Estimate ``S = sum_i m_i ln m_i`` (natural logs)."""
+        if self._n == 0:
+            raise ValueError("no stream elements consumed")
+        estimates = self._n * _xlogx_increment(self._counts)
+        return median_of_means(estimates, self.groups)
+
+    def estimate_entropy(self, base: float | None = None) -> float:
+        """Estimate the stream's empirical entropy (``ln n - S/n``)."""
+        entropy_nats = max(math.log(self._n) - self.estimate_s() / self._n, 0.0)
+        if base is None:
+            return entropy_nats
+        if base <= 1:
+            raise ValueError("base must be > 1")
+        return entropy_nats / math.log(base)

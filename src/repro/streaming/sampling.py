@@ -1,0 +1,68 @@
+"""Position sampling for stream estimators.
+
+Provides uniform position sampling over known-length streams and classic
+reservoir sampling for unknown-length streams; the entropy estimator uses
+the per-slot reservoir variant internally, and these helpers are exposed
+for building other sampling-based sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReservoirSampler", "sample_positions"]
+
+
+def sample_positions(n: int, count: int, rng: np.random.Generator) -> np.ndarray:
+    """``count`` positions sampled uniformly (with replacement) from ``[0, n)``.
+
+    With replacement matches the independence assumption of the AMS
+    estimator analysis.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return rng.integers(0, n, size=count)
+
+
+class ReservoirSampler:
+    """Uniform k-sample of an unbounded stream (Vitter's Algorithm R).
+
+    After consuming ``n >= k`` elements, :attr:`sample` holds ``k`` elements
+    each included with probability ``k / n``.
+    """
+
+    def __init__(self, k: int, rng: "np.random.Generator | None" = None) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._sample: list[object] = []
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Number of stream elements consumed."""
+        return self._seen
+
+    @property
+    def sample(self) -> list[object]:
+        """The current reservoir contents (at most ``k`` elements)."""
+        return list(self._sample)
+
+    def update(self, element: object) -> None:
+        """Consume one stream element."""
+        self._seen += 1
+        if len(self._sample) < self.k:
+            self._sample.append(element)
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.k:
+            self._sample[slot] = element
+
+    def consume(self, stream) -> "ReservoirSampler":
+        """Consume an entire iterable; returns self for chaining."""
+        for element in stream:
+            self.update(element)
+        return self

@@ -1,0 +1,35 @@
+"""Median-of-means reduction for sketch estimators.
+
+Both AMS frequency-moment estimation and the Lall et al. entropy estimator
+drive down variance the same way: keep ``g * z`` independent unbiased
+estimators, average within each of ``g`` groups of ``z``, and return the
+median of the group means. Averaging controls variance (Chebyshev), the
+median controls tail probability (Chernoff over groups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["median_of_means", "group_counters"]
+
+
+def group_counters(estimates: np.ndarray, groups: int) -> np.ndarray:
+    """Reshape a flat estimator array into ``groups`` rows.
+
+    ``estimates`` must hold ``groups * z`` values for some integer ``z``.
+    """
+    arr = np.asarray(estimates, dtype=np.float64).ravel()
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    if arr.size == 0 or arr.size % groups != 0:
+        raise ValueError(
+            f"cannot split {arr.size} estimators into {groups} equal groups"
+        )
+    return arr.reshape(groups, arr.size // groups)
+
+
+def median_of_means(estimates: np.ndarray, groups: int) -> float:
+    """Median of group means of a flat array of ``groups * z`` estimators."""
+    grouped = group_counters(estimates, groups)
+    return float(np.median(grouped.mean(axis=1)))

@@ -1,0 +1,109 @@
+"""Tests for empirical distributions, prefix-vs-whole JSD, and ECDFs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import (
+    EmpiricalCdf,
+    aligned_distributions,
+    kgram_distribution,
+    prefix_whole_jsd,
+)
+
+
+class TestKgramDistribution:
+    def test_probabilities_sum_to_one(self):
+        dist = kgram_distribution(b"abcabc", 2)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_known_distribution(self):
+        dist = kgram_distribution(b"aab", 1)
+        assert dist == {b"a": pytest.approx(2 / 3), b"b": pytest.approx(1 / 3)}
+
+    def test_keys_have_width_k(self):
+        dist = kgram_distribution(b"abcdefgh", 3)
+        assert all(len(key) == 3 for key in dist)
+
+
+class TestAlignedDistributions:
+    def test_union_support(self):
+        p = {b"a": 0.5, b"b": 0.5}
+        q = {b"b": 0.7, b"c": 0.3}
+        vec_p, vec_q = aligned_distributions(p, q)
+        assert vec_p.tolist() == [0.5, 0.5, 0.0]
+        assert vec_q.tolist() == [0.0, 0.7, 0.3]
+
+
+class TestPrefixWholeJsd:
+    def test_zero_for_full_portion(self, sample_files):
+        for data in sample_files.values():
+            assert prefix_whole_jsd(data, 1.0, k=1) == pytest.approx(0.0, abs=1e-12)
+
+    def test_decreases_with_portion(self, sample_files):
+        # Hypothesis 2: longer prefixes represent the file better.
+        data = sample_files["text"]
+        divergences = [prefix_whole_jsd(data, p, k=1) for p in (0.05, 0.2, 0.6, 1.0)]
+        assert divergences[0] > divergences[-1]
+        assert divergences[1] > divergences[3]
+
+    def test_portion_validation(self, sample_files):
+        with pytest.raises(ValueError, match="portion"):
+            prefix_whole_jsd(sample_files["text"], 0.0)
+        with pytest.raises(ValueError, match="portion"):
+            prefix_whole_jsd(sample_files["text"], 1.5)
+
+    def test_short_data_rejected(self):
+        with pytest.raises(ValueError, match="at least k"):
+            prefix_whole_jsd(b"a", 0.5, k=2)
+
+    def test_text_prefix_more_representative_than_random_noise(self, sample_files, rng):
+        # 20% of a text file should be far closer to the whole file than an
+        # unrelated random blob is.
+        data = sample_files["text"]
+        noise = rng.integers(0, 256, len(data), dtype=np.int64).astype(np.uint8).tobytes()
+        from repro.analysis.distributions import kgram_distribution
+        from repro.analysis.divergence import jensen_shannon_divergence
+
+        jsd_prefix = prefix_whole_jsd(data, 0.2, k=1)
+        p, q = aligned_distributions(
+            kgram_distribution(noise, 1), kgram_distribution(data, 1)
+        )
+        jsd_noise = jensen_shannon_divergence(p, q, base=2.0)
+        assert jsd_prefix < jsd_noise
+
+
+class TestEmpiricalCdf:
+    def test_basic_probabilities(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf(0.5) == 0.0
+        assert cdf(1.0) == pytest.approx(0.25)
+        assert cdf(2.5) == pytest.approx(0.5)
+        assert cdf(4.0) == 1.0
+        assert cdf(100.0) == 1.0
+
+    def test_quantile_inverse(self):
+        cdf = EmpiricalCdf.from_samples(list(range(1, 101)))
+        assert cdf.quantile(0.5) == pytest.approx(50.0)
+        assert cdf.quantile(0.0) == 1.0
+        assert cdf.quantile(1.0) == 100.0
+
+    def test_quantile_validation(self):
+        cdf = EmpiricalCdf.from_samples([1.0])
+        with pytest.raises(ValueError, match="q must be"):
+            cdf.quantile(1.5)
+
+    def test_series_downsamples(self):
+        cdf = EmpiricalCdf.from_samples(np.arange(1000.0))
+        series = cdf.series(points=10)
+        assert 2 <= len(series) <= 10
+        xs = [x for x, _ in series]
+        assert xs == sorted(xs)
+
+    def test_series_needs_two_points(self):
+        cdf = EmpiricalCdf.from_samples([1.0, 2.0])
+        with pytest.raises(ValueError, match="points"):
+            cdf.series(points=1)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            EmpiricalCdf.from_samples([])

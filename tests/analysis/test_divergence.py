@@ -1,0 +1,106 @@
+"""Tests for KL and Jensen-Shannon divergence (Formula 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.divergence import (
+    jensen_shannon_divergence,
+    kl_divergence,
+    shannon_entropy,
+)
+
+
+class TestShannonEntropy:
+    def test_uniform_max(self):
+        assert shannon_entropy([0.25] * 4, base=2) == pytest.approx(2.0)
+
+    def test_point_mass_zero(self):
+        assert shannon_entropy([1.0, 0.0, 0.0]) == 0.0
+
+    def test_normalizes_weights(self):
+        assert shannon_entropy([2, 2, 2, 2], base=2) == pytest.approx(2.0)
+
+    def test_base_conversion(self):
+        nats = shannon_entropy([0.5, 0.3, 0.2])
+        bits = shannon_entropy([0.5, 0.3, 0.2], base=2)
+        assert bits == pytest.approx(nats / math.log(2))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            shannon_entropy([0.5, -0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            shannon_entropy([])
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError, match="base"):
+            shannon_entropy([0.5, 0.5], base=1.0)
+
+
+class TestKlDivergence:
+    def test_identical_distributions_zero(self):
+        p = [0.2, 0.3, 0.5]
+        assert kl_divergence(p, p) == 0.0
+
+    def test_known_value(self):
+        # KLD([1,0] || [0.5,0.5]) = log 2.
+        assert kl_divergence([1, 0], [0.5, 0.5], base=2) == pytest.approx(1.0)
+
+    def test_asymmetric(self):
+        p, q = [0.9, 0.1], [0.5, 0.5]
+        assert kl_divergence(p, q) != pytest.approx(kl_divergence(q, p))
+
+    def test_absolute_continuity_violation_is_inf(self):
+        assert kl_divergence([0.5, 0.5], [1.0, 0.0]) == math.inf
+
+    def test_zero_in_p_ignored(self):
+        assert kl_divergence([0.0, 1.0], [0.5, 0.5], base=2) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            kl_divergence([1.0], [0.5, 0.5])
+
+    def test_non_negative(self, rng):
+        for _ in range(20):
+            p = rng.random(8) + 1e-9
+            q = rng.random(8) + 1e-9
+            assert kl_divergence(p, q) >= 0.0
+
+
+class TestJensenShannonDivergence:
+    def test_identical_zero(self):
+        p = [0.1, 0.2, 0.7]
+        assert jensen_shannon_divergence(p, p) == pytest.approx(0.0, abs=1e-12)
+
+    def test_symmetric(self, rng):
+        p = rng.random(10) + 1e-9
+        q = rng.random(10) + 1e-9
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p)
+        )
+
+    def test_disjoint_support_is_one_bit(self):
+        assert jensen_shannon_divergence([1, 0], [0, 1], base=2) == pytest.approx(1.0)
+
+    def test_bounded_in_base_2(self, rng):
+        for _ in range(20):
+            p = rng.random(6) + 1e-9
+            q = rng.random(6) + 1e-9
+            assert 0.0 <= jensen_shannon_divergence(p, q, base=2) <= 1.0
+
+    def test_matches_kl_identity(self, rng):
+        # JSD = (KLD(P||M) + KLD(Q||M)) / 2, M = (P+Q)/2 (Formula 2).
+        p = rng.random(7) + 1e-9
+        q = rng.random(7) + 1e-9
+        p = p / p.sum()
+        q = q / q.sum()
+        m = (p + q) / 2
+        expected = (kl_divergence(p, m) + kl_divergence(q, m)) / 2
+        assert jensen_shannon_divergence(p, q) == pytest.approx(expected)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            jensen_shannon_divergence([1.0], [0.5, 0.5])

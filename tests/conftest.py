@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite.
+
+Keeps the expensive objects (corpus, features, trained classifiers, traces)
+session-scoped so the suite stays fast while every test exercises real
+artifacts rather than mocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.labels import BINARY, ENCRYPTED, TEXT
+from repro.data.binarygen import generate_binary_file
+from repro.data.corpus import Corpus, LabeledFile, build_corpus
+from repro.data.cryptogen import generate_encrypted_file
+from repro.data.textgen import generate_text_file
+from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> Corpus:
+    """30 files per class, 2-8 KB: enough signal to train real models."""
+    return build_corpus(per_class=30, seed=99, min_size=2048, max_size=8192)
+
+
+@pytest.fixture(scope="session")
+def sample_files() -> dict[str, bytes]:
+    """One *typical* file per nature (8 KB each).
+
+    The binary sample is pinned to the executable family: it sits in the
+    middle of the entropy scale, representative of the class mean. (A
+    random draw could land on PNG, whose compressed payload is
+    statistically encrypted-like — realistic, but wrong for tests that
+    assert the typical text < binary < encrypted ordering.)
+    """
+    gen = np.random.default_rng(7)
+    return {
+        "text": generate_text_file(8192, gen, kind="plain"),
+        "binary": generate_binary_file(8192, gen, kind="elf"),
+        "encrypted": generate_encrypted_file(8192, gen),
+    }
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A 150-flow synthetic gateway trace without app headers."""
+    return generate_gateway_trace(
+        GatewayTraceConfig(
+            n_flows=150, duration=30.0, seed=41, app_header_probability=0.0
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def header_trace():
+    """A 100-flow trace where every flow starts with an app header."""
+    return generate_gateway_trace(
+        GatewayTraceConfig(
+            n_flows=100, duration=30.0, seed=43, app_header_probability=1.0
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_svm(small_corpus):
+    """A session-scoped SVM Iustitia classifier (b=32, FIRST_B training)."""
+    from repro.core.classifier import IustitiaClassifier
+
+    return IustitiaClassifier(model="svm", buffer_size=32).fit_corpus(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def trained_cart(small_corpus):
+    """A session-scoped CART Iustitia classifier (b=32, FIRST_B training)."""
+    from repro.core.classifier import IustitiaClassifier
+
+    return IustitiaClassifier(model="cart", buffer_size=32).fit_corpus(small_corpus)
+
+
+@pytest.fixture(scope="session")
+def blob_features(small_corpus):
+    """(X, y) whole-file entropy vectors h1..h5 over the small corpus."""
+    from repro.core.entropy import kgram_entropy
+
+    X = np.array(
+        [[kgram_entropy(f.data, k) for k in range(1, 6)] for f in small_corpus]
+    )
+    y = np.array([int(f.nature) for f in small_corpus])
+    return X, y

@@ -1,0 +1,87 @@
+"""Tests for per-flow memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import (
+    DEFAULT_COUNTER_BYTES,
+    distinct_counters,
+    estimation_space_bytes,
+    exact_space_bytes,
+)
+from repro.core.estimation import EstimationBudget
+from repro.core.features import PHI_SVM_PRIME, FeatureSet
+
+
+class TestDistinctCounters:
+    def test_counts_distinct_grams_across_widths(self):
+        # "abab": h1 -> {a, b}; h2 -> {ab, ba}; total 4.
+        features = FeatureSet("t", (1, 2))
+        assert distinct_counters(b"abab", features) == 4
+
+    def test_constant_buffer_minimal(self):
+        features = FeatureSet("t", (1, 2, 3))
+        assert distinct_counters(b"\x00" * 100, features) == 3
+
+    def test_bounded_by_window_count(self, sample_files):
+        buf = sample_files["encrypted"][:1024]
+        alpha = distinct_counters(buf, PHI_SVM_PRIME)
+        bound = PHI_SVM_PRIME.exact_counter_bound(1024)
+        assert alpha <= bound
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(ValueError, match="cannot hold"):
+            distinct_counters(b"abc", PHI_SVM_PRIME)
+
+
+class TestExactSpace:
+    def test_paper_scale_at_1024(self, sample_files):
+        # Paper: ~5.1 KB per flow at b=1024 (alpha ~= 1911, 2 B counters).
+        buf = sample_files["encrypted"][:1024]
+        space = exact_space_bytes(buf, PHI_SVM_PRIME)
+        assert 3000 < space < 8500
+
+    def test_paper_scale_at_32(self, sample_files):
+        # Paper: ~195 B per flow at b=32.
+        buf = sample_files["text"][:32]
+        space = exact_space_bytes(buf, PHI_SVM_PRIME)
+        assert 100 < space < 300
+
+    def test_grows_with_buffer(self, sample_files):
+        data = sample_files["binary"]
+        spaces = [
+            exact_space_bytes(data[:b], PHI_SVM_PRIME) for b in (32, 128, 1024)
+        ]
+        assert spaces == sorted(spaces)
+
+    def test_counter_bytes_validated(self, sample_files):
+        with pytest.raises(ValueError, match="counter_bytes"):
+            exact_space_bytes(sample_files["text"][:64], PHI_SVM_PRIME, 0)
+
+
+class TestEstimationSpace:
+    def test_paper_scale(self):
+        # Paper: ~1.6 KB at b=1024, epsilon=0.25, delta=0.75 (SVM set).
+        budget = EstimationBudget(epsilon=0.25, delta=0.75, buffer_size=1024)
+        space = estimation_space_bytes(budget, PHI_SVM_PRIME)
+        assert 1000 < space < 2500
+
+    def test_saves_space_vs_exact_at_1024(self, sample_files):
+        budget = EstimationBudget(epsilon=0.25, delta=0.75, buffer_size=1024)
+        buf = sample_files["encrypted"][:1024]
+        assert estimation_space_bytes(budget, PHI_SVM_PRIME) < exact_space_bytes(
+            buf, PHI_SVM_PRIME
+        )
+
+    def test_no_h1_array_without_h1(self):
+        budget = EstimationBudget(epsilon=0.25, delta=0.75, buffer_size=1024)
+        with_h1 = estimation_space_bytes(budget, FeatureSet("a", (1, 2)))
+        without_h1 = estimation_space_bytes(budget, FeatureSet("b", (2,)))
+        assert with_h1 == without_h1 + 256 * DEFAULT_COUNTER_BYTES
+
+    def test_shrinks_with_looser_epsilon(self):
+        tight = EstimationBudget(epsilon=0.1, delta=0.5, buffer_size=1024)
+        loose = EstimationBudget(epsilon=0.5, delta=0.5, buffer_size=1024)
+        assert estimation_space_bytes(loose, PHI_SVM_PRIME) < estimation_space_bytes(
+            tight, PHI_SVM_PRIME
+        )

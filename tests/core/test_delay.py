@@ -1,0 +1,115 @@
+"""Tests for the buffering-delay model (Section 4.5)."""
+
+import pytest
+
+from repro.core.delay import BufferingDelayModel, DelayBreakdown
+from repro.net.flow import Flow, FlowKey
+from repro.net.packet import Ipv4Header, Packet, UdpHeader
+
+
+def _flow(payload_sizes, gaps, start=0.0):
+    """Build a UDP flow with the given payload sizes and inter-arrival gaps."""
+    key = FlowKey(src="10.0.0.1", src_port=1000, dst="10.0.0.2", dst_port=80,
+                  protocol=17)
+    packets = []
+    timestamp = start
+    for index, size in enumerate(payload_sizes):
+        if index > 0:
+            timestamp += gaps[index - 1]
+        packets.append(
+            Packet(
+                ip=Ipv4Header(src=key.src, dst=key.dst, protocol=17),
+                transport=UdpHeader(src_port=key.src_port, dst_port=key.dst_port),
+                payload=b"\x55" * size,
+                timestamp=timestamp,
+            )
+        )
+    return Flow(key=key, packets=packets)
+
+
+class TestFlowDelay:
+    def test_single_packet_fills_small_buffer(self):
+        model = BufferingDelayModel(buffer_size=32)
+        breakdown = model.flow_delay(_flow([100], []))
+        assert breakdown.packets_to_fill == 1
+        assert breakdown.tau_b == 0.0
+        assert breakdown.buffer_filled
+
+    def test_multiple_packets_accumulate(self):
+        model = BufferingDelayModel(buffer_size=250)
+        breakdown = model.flow_delay(_flow([100, 100, 100], [0.5, 0.25]))
+        assert breakdown.packets_to_fill == 3
+        assert breakdown.tau_b == pytest.approx(0.75)
+
+    def test_unfilled_buffer_reported(self):
+        model = BufferingDelayModel(buffer_size=10_000)
+        breakdown = model.flow_delay(_flow([100, 100], [1.0]))
+        assert not breakdown.buffer_filled
+        assert breakdown.packets_to_fill == 2
+        assert breakdown.tau_b == pytest.approx(1.0)
+
+    def test_total_is_sum_of_components(self):
+        model = BufferingDelayModel(
+            buffer_size=50, hash_time=18e-6, cdb_search_time=2e-6
+        )
+        breakdown = model.flow_delay(_flow([100], []))
+        assert breakdown.total == pytest.approx(20e-6)
+
+    def test_empty_flow_rejected(self):
+        model = BufferingDelayModel(buffer_size=32)
+        with pytest.raises(ValueError, match="no packets"):
+            model.flow_delay(_flow([], []))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            BufferingDelayModel(buffer_size=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            BufferingDelayModel(buffer_size=32, hash_time=-1.0)
+
+
+class TestTraceSeries:
+    def test_small_buffer_needs_fewer_packets(self, small_trace):
+        small = BufferingDelayModel(buffer_size=32)
+        large = BufferingDelayModel(buffer_size=2000)
+        small_delays = small.trace_delays(small_trace)
+        large_delays = large.trace_delays(small_trace)
+        mean_small = sum(d.packets_to_fill for d in small_delays) / len(small_delays)
+        mean_large = sum(d.packets_to_fill for d in large_delays) / len(large_delays)
+        assert mean_small < mean_large
+        # Figure 10(a): c ~= 1 for b=32 on the bimodal size distribution.
+        assert mean_small < 1.8
+
+    def test_time_series_bins_sorted(self, small_trace):
+        model = BufferingDelayModel(buffer_size=1024)
+        series = model.time_series(small_trace, bin_seconds=2.0)
+        assert series
+        times = [t for t, _, _ in series]
+        assert times == sorted(times)
+        for _, mean_c, mean_tau in series:
+            assert mean_c >= 1.0
+            assert mean_tau >= 0.0
+
+    def test_time_series_validation(self, small_trace):
+        model = BufferingDelayModel(buffer_size=32)
+        with pytest.raises(ValueError, match="bin_seconds"):
+            model.time_series(small_trace, bin_seconds=0.0)
+
+
+class TestRelativeDelays:
+    def test_headline_metric_shape(self, small_trace):
+        # 300 us classification vs per-flow inter-arrival cadence.
+        model = BufferingDelayModel(buffer_size=32)
+        ratios = model.relative_delays(small_trace, computation_time=300e-6)
+        assert ratios
+        assert all(r >= 0 for r in ratios)
+
+    def test_zero_computation_time_gives_zero(self, small_trace):
+        model = BufferingDelayModel(buffer_size=32)
+        assert all(
+            r == 0.0 for r in model.relative_delays(small_trace, 0.0)
+        )
+
+    def test_negative_time_rejected(self, small_trace):
+        model = BufferingDelayModel(buffer_size=32)
+        with pytest.raises(ValueError, match="computation_time"):
+            model.relative_delays(small_trace, -1.0)

@@ -1,0 +1,111 @@
+"""Tests for entropy-vector extraction (H_F, H_b, H_b')."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import kgram_entropy
+from repro.core.entropy_vector import (
+    EntropyVector,
+    entropy_vector,
+    prefix_vector,
+    random_offset_vector,
+)
+from repro.core.features import FULL_FEATURES, PHI_SVM_PRIME, FeatureSet
+
+
+class TestEntropyVector:
+    def test_values_match_individual_features(self, sample_files):
+        data = sample_files["binary"]
+        vector = entropy_vector(data, PHI_SVM_PRIME)
+        for width in PHI_SVM_PRIME.widths:
+            assert vector[width] == pytest.approx(kgram_entropy(data, width))
+
+    def test_full_vector_has_ten_features(self, sample_files):
+        vector = entropy_vector(sample_files["text"])
+        assert len(vector) == 10
+        assert vector.widths == tuple(range(1, 11))
+
+    def test_getitem_by_width_not_position(self, sample_files):
+        vector = entropy_vector(sample_files["text"], FeatureSet("t", (1, 5)))
+        assert vector[5] == pytest.approx(kgram_entropy(sample_files["text"], 5))
+        with pytest.raises(KeyError, match="h_3"):
+            vector[3]
+
+    def test_as_array_returns_copy(self, sample_files):
+        vector = entropy_vector(sample_files["text"], PHI_SVM_PRIME)
+        arr = vector.as_array()
+        arr[0] = -1.0
+        assert vector.values[0] != -1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="values"):
+            EntropyVector(values=np.zeros(3), widths=(1, 2))
+
+
+class TestPrefixVector:
+    def test_uses_only_first_b_bytes(self, sample_files):
+        data = sample_files["encrypted"]
+        vector = prefix_vector(data, 64, PHI_SVM_PRIME)
+        direct = entropy_vector(data[:64], PHI_SVM_PRIME)
+        np.testing.assert_allclose(vector.values, direct.values)
+
+    def test_short_data_uses_everything(self):
+        data = b"short text data here"
+        vector = prefix_vector(data, 4096, PHI_SVM_PRIME)
+        direct = entropy_vector(data, PHI_SVM_PRIME)
+        np.testing.assert_allclose(vector.values, direct.values)
+
+    def test_buffer_smaller_than_widest_feature_rejected(self):
+        with pytest.raises(ValueError, match="widest feature"):
+            prefix_vector(b"x" * 100, 4, PHI_SVM_PRIME)
+
+
+class TestRandomOffsetVector:
+    def test_zero_max_header_is_prefix(self, sample_files, rng):
+        data = sample_files["binary"]
+        vector = random_offset_vector(data, 64, 0, rng, PHI_SVM_PRIME)
+        direct = prefix_vector(data, 64, PHI_SVM_PRIME)
+        np.testing.assert_allclose(vector.values, direct.values)
+
+    def test_offset_stays_within_bounds(self, rng):
+        # With max_header much larger than the file, the window must clip.
+        data = bytes(range(64)) * 2
+        vector = random_offset_vector(data, 64, 10_000, rng, PHI_SVM_PRIME)
+        assert len(vector) == len(PHI_SVM_PRIME)
+
+    def test_varies_with_rng(self, sample_files):
+        data = sample_files["text"]
+        seen = set()
+        for seed in range(8):
+            gen = np.random.default_rng(seed)
+            vector = random_offset_vector(data, 64, 512, gen, PHI_SVM_PRIME)
+            seen.add(round(float(vector.values[0]), 10))
+        assert len(seen) > 1
+
+    def test_negative_max_header_rejected(self, sample_files, rng):
+        with pytest.raises(ValueError, match="max_header"):
+            random_offset_vector(sample_files["text"], 64, -1, rng)
+
+    def test_buffer_validation(self, sample_files, rng):
+        with pytest.raises(ValueError, match="widest feature"):
+            random_offset_vector(sample_files["text"], 4, 0, rng, PHI_SVM_PRIME)
+
+
+class TestClassGeometry:
+    """Hypothesis 1: text < binary < encrypted in entropy space."""
+
+    def test_h1_ordering_on_samples(self, sample_files):
+        h1 = {
+            name: entropy_vector(data, FeatureSet("h1", (1,)))[1]
+            for name, data in sample_files.items()
+        }
+        assert h1["text"] < h1["binary"] < h1["encrypted"]
+
+    def test_corpus_mean_ordering(self, small_corpus):
+        from repro.core.labels import BINARY, ENCRYPTED, TEXT
+
+        means = {}
+        for nature in (TEXT, BINARY, ENCRYPTED):
+            files = small_corpus.by_nature(nature)
+            means[nature] = np.mean([kgram_entropy(f.data, 1) for f in files])
+        assert means[TEXT] < means[BINARY] < means[ENCRYPTED]

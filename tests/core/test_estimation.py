@@ -1,0 +1,131 @@
+"""Tests for the (delta, epsilon)-approximation entropy estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import kgram_entropy
+from repro.core.estimation import (
+    EntropyEstimator,
+    EstimationBudget,
+    estimate_hk,
+    feature_set_coefficient,
+)
+from repro.core.features import PHI_CART_PRIME, PHI_SVM_PRIME, FeatureSet
+
+
+class TestEstimationBudget:
+    def test_g_grows_with_confidence(self):
+        high_conf = EstimationBudget(epsilon=0.3, delta=0.05, buffer_size=1024)
+        low_conf = EstimationBudget(epsilon=0.3, delta=0.75, buffer_size=1024)
+        assert high_conf.g > low_conf.g
+        assert low_conf.g >= 1
+
+    def test_z_shrinks_with_epsilon(self):
+        tight = EstimationBudget(epsilon=0.1, delta=0.5, buffer_size=1024)
+        loose = EstimationBudget(epsilon=0.5, delta=0.5, buffer_size=1024)
+        assert tight.z_for(2) > loose.z_for(2)
+
+    def test_z_shrinks_with_width(self):
+        # z_k = ceil(32 log_{|f_k|} b / eps^2): larger alphabet, smaller z.
+        budget = EstimationBudget(epsilon=0.25, delta=0.5, buffer_size=1024)
+        assert budget.z_for(2) > budget.z_for(5)
+
+    def test_z_rejects_h1(self):
+        budget = EstimationBudget(epsilon=0.25, delta=0.5, buffer_size=1024)
+        with pytest.raises(ValueError, match="k >= 2"):
+            budget.z_for(1)
+
+    def test_total_counters_excludes_h1(self):
+        budget = EstimationBudget(epsilon=0.25, delta=0.5, buffer_size=1024)
+        total = budget.total_counters(PHI_SVM_PRIME)
+        assert total == sum(budget.counters_for(k) for k in (2, 3, 5))
+
+    def test_saves_space_against_exact(self):
+        budget = EstimationBudget(epsilon=0.5, delta=0.75, buffer_size=1024)
+        alpha = PHI_SVM_PRIME.exact_counter_bound(1024)
+        assert budget.saves_space(PHI_SVM_PRIME, alpha)
+
+    def test_tight_budget_does_not_save_space(self):
+        budget = EstimationBudget(epsilon=0.02, delta=0.01, buffer_size=1024)
+        assert not budget.saves_space(PHI_SVM_PRIME, 1911)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match="epsilon"):
+            EstimationBudget(epsilon=0.0, delta=0.5, buffer_size=1024)
+        with pytest.raises(ValueError, match="delta"):
+            EstimationBudget(epsilon=0.2, delta=0.0, buffer_size=1024)
+        with pytest.raises(ValueError, match="buffer_size"):
+            EstimationBudget(epsilon=0.2, delta=0.5, buffer_size=1)
+
+
+class TestEstimateHk:
+    def test_close_to_exact_on_1k_buffer(self, sample_files, rng):
+        budget = EstimationBudget(epsilon=0.25, delta=0.25, buffer_size=1024)
+        for data in sample_files.values():
+            buf = data[:1024]
+            exact = kgram_entropy(buf, 2)
+            estimates = [
+                estimate_hk(buf, 2, budget, np.random.default_rng(s))
+                for s in range(5)
+            ]
+            assert np.mean(estimates) == pytest.approx(exact, abs=0.12)
+
+    def test_constant_buffer_estimates_zero(self, rng):
+        budget = EstimationBudget(epsilon=0.25, delta=0.5, buffer_size=256)
+        assert estimate_hk(b"\x00" * 256, 2, budget, rng) == pytest.approx(0.0)
+
+    def test_clamped_to_unit_interval(self, rng):
+        budget = EstimationBudget(epsilon=2.0, delta=0.9, buffer_size=64)
+        data = bytes(range(64))
+        for seed in range(10):
+            value = estimate_hk(data, 2, budget, np.random.default_rng(seed))
+            assert 0.0 <= value <= 1.0
+
+    def test_h1_rejected(self, rng):
+        budget = EstimationBudget(epsilon=0.25, delta=0.5, buffer_size=256)
+        with pytest.raises(ValueError, match="k >= 2"):
+            estimate_hk(b"x" * 256, 1, budget, rng)
+
+    def test_short_data_rejected(self, rng):
+        budget = EstimationBudget(epsilon=0.25, delta=0.5, buffer_size=256)
+        with pytest.raises(ValueError, match="at least"):
+            estimate_hk(b"ab", 3, budget, rng)
+
+
+class TestEntropyEstimator:
+    def test_h1_is_exact(self, sample_files):
+        estimator = EntropyEstimator(
+            epsilon=0.5, delta=0.75, buffer_size=1024, features=PHI_SVM_PRIME,
+            rng=np.random.default_rng(0),
+        )
+        buf = sample_files["text"][:1024]
+        vector = estimator.estimate_vector(buf)
+        assert vector[1] == pytest.approx(kgram_entropy(buf, 1))
+
+    def test_preserves_class_ordering(self, sample_files):
+        estimator = EntropyEstimator(
+            epsilon=0.25, delta=0.25, buffer_size=1024, features=PHI_SVM_PRIME,
+            rng=np.random.default_rng(1),
+        )
+        vectors = {
+            name: estimator.estimate_vector(data[:1024]).values.mean()
+            for name, data in sample_files.items()
+        }
+        assert vectors["text"] < vectors["encrypted"]
+
+    def test_counter_accounting(self):
+        estimator = EntropyEstimator(
+            epsilon=0.25, delta=0.5, buffer_size=1024, features=PHI_CART_PRIME
+        )
+        assert estimator.total_counters() == estimator.budget.total_counters(
+            PHI_CART_PRIME
+        )
+
+    def test_exposed_parameters(self):
+        estimator = EntropyEstimator(epsilon=0.3, delta=0.6, buffer_size=512)
+        assert estimator.epsilon == 0.3
+        assert estimator.delta == 0.6
+
+
+def test_feature_set_coefficient_matches_method():
+    assert feature_set_coefficient(PHI_SVM_PRIME) == PHI_SVM_PRIME.coefficient()

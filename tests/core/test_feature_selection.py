@@ -1,0 +1,93 @@
+"""Tests for CART-voting and SFS feature selection (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_selection import (
+    cart_voting_selection,
+    sequential_forward_selection,
+)
+from repro.ml.tree.cart import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def informative_dataset():
+    """Features 0 and 2 carry all class signal; 1 and 3 are pure noise.
+
+    Neither informative feature separates the classes alone: column 0 only
+    distinguishes class 0, column 2 only class 2, so a correct selector
+    must pick both.
+    """
+    rng = np.random.default_rng(17)
+    n = 90
+    y = np.repeat([0, 1, 2], n // 3)
+    X = rng.random((n, 4))
+    X[:, 0] = (y == 0) * 0.8 + rng.normal(0, 0.03, n)
+    X[:, 2] = (y == 2) * 0.8 + rng.normal(0, 0.03, n)
+    return X, y
+
+
+class TestCartVoting:
+    def test_selects_informative_features(self, informative_dataset):
+        X, y = informative_dataset
+        selected = cart_voting_selection(
+            X, y, widths=(1, 2, 3, 4), n_select=2, n_folds=5,
+            rng=np.random.default_rng(0),
+        )
+        # Columns 0 and 2 map to widths 1 and 3.
+        assert set(selected.widths) == {1, 3}
+
+    def test_widths_sorted(self, informative_dataset):
+        X, y = informative_dataset
+        selected = cart_voting_selection(
+            X, y, widths=(9, 5, 2, 1), n_select=3, n_folds=5,
+            rng=np.random.default_rng(0),
+        )
+        assert selected.widths == tuple(sorted(selected.widths))
+
+    def test_shape_validation(self, informative_dataset):
+        X, y = informative_dataset
+        with pytest.raises(ValueError, match="columns"):
+            cart_voting_selection(X, y, widths=(1, 2), n_select=1)
+        with pytest.raises(ValueError, match="n_select"):
+            cart_voting_selection(X, y, widths=(1, 2, 3, 4), n_select=5)
+
+
+class TestSequentialForwardSelection:
+    def test_selects_informative_features(self, informative_dataset):
+        X, y = informative_dataset
+        selected = sequential_forward_selection(
+            lambda: DecisionTreeClassifier(max_depth=3),
+            X, y, widths=(1, 2, 3, 4), n_select=2, n_folds=3,
+            rng=np.random.default_rng(0),
+        )
+        assert set(selected.widths) == {1, 3}
+
+    def test_select_all_returns_everything(self, informative_dataset):
+        X, y = informative_dataset
+        selected = sequential_forward_selection(
+            lambda: DecisionTreeClassifier(max_depth=3),
+            X, y, widths=(1, 2, 3, 4), n_select=4, n_folds=3,
+            rng=np.random.default_rng(0),
+        )
+        assert set(selected.widths) == {1, 2, 3, 4}
+
+    def test_validation(self, informative_dataset):
+        X, y = informative_dataset
+        with pytest.raises(ValueError, match="n_select"):
+            sequential_forward_selection(
+                lambda: DecisionTreeClassifier(), X, y,
+                widths=(1, 2, 3, 4), n_select=0,
+            )
+
+
+class TestOnEntropyFeatures:
+    def test_h1_always_selected_on_corpus(self, blob_features):
+        # h1 is the strongest single separator of the three natures; any
+        # sane selection over h1..h5 must include it.
+        X, y = blob_features
+        selected = cart_voting_selection(
+            X, y, widths=(1, 2, 3, 4, 5), n_select=3, n_folds=5,
+            rng=np.random.default_rng(3),
+        )
+        assert 1 in selected.widths

@@ -1,0 +1,32 @@
+"""Tests for flow-nature labels."""
+
+import pytest
+
+from repro.core.labels import ALL_NATURES, BINARY, ENCRYPTED, TEXT, FlowNature
+
+
+class TestFlowNature:
+    def test_three_classes(self):
+        assert len(ALL_NATURES) == 3
+        assert ALL_NATURES == (TEXT, BINARY, ENCRYPTED)
+
+    def test_fits_in_two_bits(self):
+        # The CDB stores labels in 2 bits (Section 4.5).
+        assert all(0 <= int(nature) < 4 for nature in FlowNature)
+
+    def test_str_lowercase(self):
+        assert str(TEXT) == "text"
+        assert str(ENCRYPTED) == "encrypted"
+
+    def test_from_name_roundtrip(self):
+        for nature in FlowNature:
+            assert FlowNature.from_name(str(nature)) is nature
+            assert FlowNature.from_name(nature.name) is nature
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown flow nature"):
+            FlowNature.from_name("video")
+
+    def test_int_roundtrip(self):
+        for nature in FlowNature:
+            assert FlowNature(int(nature)) is nature

@@ -1,0 +1,180 @@
+"""Tests for the online IustitiaEngine (Figure 1 path)."""
+
+import pytest
+
+from repro.core.config import IustitiaConfig
+from repro.core.labels import ALL_NATURES
+from repro.core.pipeline import IustitiaEngine
+from repro.net.flow import FlowKey
+from repro.net.hashing import flow_hash
+from repro.net.packet import (
+    FLAG_ACK,
+    FLAG_FIN,
+    Ipv4Header,
+    Packet,
+    TcpHeader,
+    UdpHeader,
+)
+
+
+def _udp_packet(payload, timestamp, sport=5555):
+    return Packet(
+        ip=Ipv4Header(src="10.1.1.1", dst="10.2.2.2", protocol=17),
+        transport=UdpHeader(src_port=sport, dst_port=80),
+        payload=payload,
+        timestamp=timestamp,
+    )
+
+
+def _tcp_packet(payload, timestamp, flags=FLAG_ACK, sport=6666):
+    return Packet(
+        ip=Ipv4Header(src="10.1.1.1", dst="10.2.2.2", protocol=6),
+        transport=TcpHeader(src_port=sport, dst_port=80, flags=flags),
+        payload=payload,
+        timestamp=timestamp,
+    )
+
+
+@pytest.fixture
+def engine(trained_svm):
+    return IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+
+
+class TestPacketPath:
+    def test_flow_classified_once_buffer_fills(self, engine, sample_files):
+        payload = sample_files["encrypted"][:40]
+        label = engine.process_packet(_udp_packet(payload, 0.0))
+        assert label is not None
+        assert engine.stats.classifications == 1
+        assert len(engine.cdb) == 1
+
+    def test_buffering_until_enough_bytes(self, engine, sample_files):
+        data = sample_files["text"]
+        assert engine.process_packet(_udp_packet(data[:10], 0.0)) is None
+        assert engine.stats.classifications == 0
+        label = engine.process_packet(_udp_packet(data[10:40], 0.1))
+        assert label is not None
+        assert engine.stats.classifications == 1
+
+    def test_cdb_hit_skips_classification(self, engine, sample_files):
+        data = sample_files["binary"]
+        engine.process_packet(_udp_packet(data[:40], 0.0))
+        label = engine.process_packet(_udp_packet(data[40:80], 0.1))
+        assert label is not None
+        assert engine.stats.cdb_hits == 1
+        assert engine.stats.classifications == 1
+
+    def test_buffered_packets_flushed_to_output_queue(self, engine, sample_files):
+        data = sample_files["encrypted"]
+        engine.process_packet(_udp_packet(data[:16], 0.0))
+        label = engine.process_packet(_udp_packet(data[16:48], 0.1))
+        queue = engine.output_queues[label]
+        assert len(queue) == 2  # both buffered packets delivered
+
+    def test_distinct_flows_tracked_separately(self, engine, sample_files):
+        engine.process_packet(_udp_packet(sample_files["text"][:40], 0.0, sport=1001))
+        engine.process_packet(_udp_packet(sample_files["encrypted"][:40], 0.0, sport=1002))
+        assert engine.stats.classifications == 2
+        assert len(engine.cdb) == 2
+
+
+class TestFinHandling:
+    def test_fin_removes_cdb_record(self, engine, sample_files):
+        data = sample_files["binary"]
+        engine.process_packet(_tcp_packet(data[:40], 0.0))
+        assert len(engine.cdb) == 1
+        engine.process_packet(_tcp_packet(b"", 0.2, flags=FLAG_ACK | FLAG_FIN))
+        assert len(engine.cdb) == 0
+        assert engine.stats.fin_removals == 1
+
+    def test_fin_on_pending_flow_classifies_partial_buffer(self, engine, sample_files):
+        data = sample_files["encrypted"]
+        engine.process_packet(_tcp_packet(data[:20], 0.0))
+        # FIN arrives before 32 bytes buffered: classify from 20 bytes.
+        engine.process_packet(_tcp_packet(b"", 0.1, flags=FLAG_ACK | FLAG_FIN))
+        assert engine.stats.classifications == 1
+        assert len(engine.cdb) == 0  # classified then removed on close
+
+    def test_tiny_flow_on_fin_is_unclassifiable(self, engine):
+        engine.process_packet(_tcp_packet(b"ab", 0.0))
+        engine.process_packet(_tcp_packet(b"", 0.1, flags=FLAG_ACK | FLAG_FIN))
+        assert engine.stats.unclassifiable == 1
+        assert engine.stats.classifications == 0
+
+
+class TestTimeouts:
+    def test_flush_timeouts_classifies_stale_pending(self, engine, sample_files):
+        engine.process_packet(_udp_packet(sample_files["text"][:20], 0.0))
+        assert engine.stats.classifications == 0
+        handled = engine.flush_timeouts(now=100.0)
+        assert handled == 1
+        assert engine.stats.classifications == 1
+
+    def test_fresh_pending_not_flushed(self, engine, sample_files):
+        engine.process_packet(_udp_packet(sample_files["text"][:20], 0.0))
+        assert engine.flush_timeouts(now=1.0) == 0
+        assert engine.stats.classifications == 0
+
+
+class TestTraceProcessing:
+    def test_full_trace_accuracy(self, trained_svm, small_trace):
+        engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        stats = engine.process_trace(small_trace)
+        assert stats.packets == len(small_trace)
+        assert stats.classifications > 0
+        report = engine.evaluate_against(small_trace)
+        assert report["accuracy"] > 0.75  # paper headline band
+
+    def test_cdb_size_series_recorded(self, trained_svm, small_trace):
+        engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        stats = engine.process_trace(small_trace, sample_interval=2.0)
+        assert stats.cdb_size_series
+        times = [t for t, _ in stats.cdb_size_series]
+        assert times == sorted(times)
+
+    def test_per_class_counts_sum_to_classifications(self, trained_svm, small_trace):
+        engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        stats = engine.process_trace(small_trace)
+        assert sum(stats.per_class.values()) == stats.classifications
+
+    def test_output_queues_partition_data_packets(self, trained_svm, small_trace):
+        engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        stats = engine.process_trace(small_trace)
+        queued = sum(len(q) for q in engine.output_queues.values())
+        # Every data packet of a classified flow ends up in exactly one queue.
+        assert queued <= stats.data_packets
+        assert queued > 0
+
+    def test_invalid_sample_interval(self, trained_svm, small_trace):
+        engine = IustitiaEngine(trained_svm)
+        with pytest.raises(ValueError, match="sample_interval"):
+            engine.process_trace(small_trace, sample_interval=0.0)
+
+    def test_evaluate_requires_ground_truth(self, trained_svm, small_trace):
+        from repro.net.trace import Trace
+
+        engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        unlabeled = Trace(packets=list(small_trace.packets))
+        engine.process_trace(unlabeled)
+        with pytest.raises(ValueError, match="ground-truth"):
+            engine.evaluate_against(unlabeled)
+
+
+class TestHeaderAwareEngine:
+    def test_known_headers_stripped_when_buffer_allows(
+        self, small_corpus, header_trace
+    ):
+        from repro.core.classifier import IustitiaClassifier
+
+        clf = IustitiaClassifier(model="svm", buffer_size=512).fit_corpus(
+            small_corpus
+        )
+        engine = IustitiaEngine(
+            clf, IustitiaConfig(buffer_size=512, strip_known_headers=True)
+        )
+        engine.process_trace(header_trace)
+        stripped = [
+            c for c in engine.stats.classified if c.stripped_protocol is not None
+        ]
+        # Every flow in this trace starts with a known app header.
+        assert len(stripped) > 0.9 * len(engine.stats.classified)

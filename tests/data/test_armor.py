@@ -1,0 +1,52 @@
+"""Tests for PGP-style ASCII armor in the encrypted generator."""
+
+import base64
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import kgram_entropy
+from repro.data.cryptogen import ARMOR_PROBABILITY, ascii_armor, generate_encrypted_file
+
+
+class TestAsciiArmor:
+    def test_banner_structure(self):
+        armored = ascii_armor(b"\x01\x02\x03" * 50)
+        assert armored.startswith(b"-----BEGIN PGP MESSAGE-----")
+        assert armored.rstrip().endswith(b"-----END PGP MESSAGE-----")
+
+    def test_body_is_base64_of_input(self):
+        ciphertext = bytes(range(256))
+        armored = ascii_armor(ciphertext)
+        body = armored.split(b"\n\n", 1)[1].rsplit(b"\n-----END", 1)[0]
+        assert base64.b64decode(body.replace(b"\n", b"")) == ciphertext
+
+    def test_lines_wrapped_at_64(self):
+        armored = ascii_armor(b"\xff" * 1000)
+        body_lines = armored.split(b"\n\n", 1)[1].split(b"\n")
+        data_lines = [l for l in body_lines if l and not l.startswith(b"-----")]
+        assert all(len(line) <= 64 for line in data_lines)
+
+    def test_armored_entropy_between_text_and_keystream(self):
+        # Base64 of uniform bytes: 64-symbol alphabet, h1 ~ 0.75 — the
+        # realistic middle ground that creates encrypted<->text confusion.
+        armored = ascii_armor(bytes(np.random.default_rng(0).integers(
+            0, 256, 8192, dtype=np.int64).astype(np.uint8)))
+        h1 = kgram_entropy(armored, 1)
+        assert 0.6 < h1 < 0.85
+
+
+class TestArmoredGeneration:
+    def test_some_encrypted_files_are_armored(self):
+        rng = np.random.default_rng(4)
+        armored = sum(
+            generate_encrypted_file(2048, rng).startswith(b"-----BEGIN")
+            for _ in range(200)
+        )
+        # Binomial(200, ARMOR_PROBABILITY): stay within a loose band.
+        assert 0.4 * ARMOR_PROBABILITY < armored / 200 < 2.0 * ARMOR_PROBABILITY
+
+    def test_armored_output_respects_size(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            assert len(generate_encrypted_file(1500, rng)) == 1500

@@ -1,0 +1,116 @@
+"""Tests for binary-class generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import kgram_entropy
+from repro.data.binarygen import (
+    BINARY_KINDS,
+    generate_avi_like,
+    generate_binary_file,
+    generate_elf_like,
+    generate_jpeg_like,
+    generate_pdf_like,
+    generate_png_like,
+    generate_zip_like,
+)
+
+
+class TestGeneratedShape:
+    def test_exact_size_all_kinds(self, rng):
+        for kind in BINARY_KINDS:
+            data = generate_binary_file(4096, rng, kind=kind)
+            assert len(data) == 4096, kind
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown binary kind"):
+            generate_binary_file(100, rng, kind="wasm")
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError, match="size"):
+            generate_binary_file(0, rng)
+
+
+class TestMagicNumbers:
+    def test_elf_magic(self, rng):
+        assert generate_elf_like(1024, rng).startswith(b"\x7fELF")
+
+    def test_jpeg_soi_and_jfif(self, rng):
+        data = generate_jpeg_like(1024, rng)
+        assert data.startswith(b"\xff\xd8")
+        assert b"JFIF" in data[:32]
+
+    def test_png_signature(self, rng):
+        assert generate_png_like(1024, rng).startswith(b"\x89PNG\r\n\x1a\n")
+
+    def test_zip_local_header(self, rng):
+        assert generate_zip_like(1024, rng).startswith(b"PK\x03\x04")
+
+    def test_pdf_header(self, rng):
+        assert generate_pdf_like(1024, rng).startswith(b"%PDF-1.4")
+
+    def test_avi_riff(self, rng):
+        data = generate_avi_like(1024, rng)
+        assert data.startswith(b"RIFF")
+        assert b"AVI " in data[:16]
+
+
+class TestEntropyProfile:
+    def test_jpeg_stuffing_rule(self, rng):
+        """JPEG scan data never contains a bare 0xFF except markers."""
+        data = generate_jpeg_like(8192, rng)
+        scan = data[data.find(b"\xff\xda") + 14 :]
+        idx = 0
+        while idx < len(scan) - 1:
+            if scan[idx] == 0xFF:
+                nxt = scan[idx + 1]
+                assert nxt == 0x00 or 0xD0 <= nxt <= 0xD9
+                idx += 2
+            else:
+                idx += 1
+
+    def test_executable_mid_entropy(self, rng):
+        values = [kgram_entropy(generate_elf_like(8192, rng), 1) for _ in range(5)]
+        assert 0.35 < np.mean(values) < 0.85
+
+    def test_class_spans_wide_entropy_range(self, rng):
+        """Binary is a *mixture*: structured families low, coded ones high."""
+        avi = np.mean([kgram_entropy(generate_avi_like(8192, rng), 1) for _ in range(4)])
+        png = np.mean([kgram_entropy(generate_png_like(8192, rng), 1) for _ in range(4)])
+        assert avi < 0.6
+        assert png > 0.9
+
+    def test_jpeg_skewed_below_encrypted_level(self, rng):
+        """Huffman-style skew keeps JPEG below keystream uniformity."""
+        values = [kgram_entropy(generate_jpeg_like(8192, rng), 1) for _ in range(5)]
+        assert np.mean(values) < 0.985
+
+    def test_weighted_mixture_mid_entropy(self, rng):
+        values = [kgram_entropy(generate_binary_file(8192, rng), 1) for _ in range(40)]
+        assert 0.55 < np.mean(values) < 0.9
+
+    def test_deterministic_given_seed(self):
+        a = generate_binary_file(2048, np.random.default_rng(5))
+        b = generate_binary_file(2048, np.random.default_rng(5))
+        assert a == b
+
+
+class TestGifGenerator:
+    def test_gif_magic(self, rng):
+        from repro.data.binarygen import generate_gif_like
+
+        data = generate_gif_like(2048, rng)
+        assert data.startswith(b"GIF89a")
+        assert len(data) == 2048
+
+    def test_gif_entropy_below_keystream(self, rng):
+        from repro.data.binarygen import generate_gif_like
+
+        values = [kgram_entropy(generate_gif_like(8192, rng), 1) for _ in range(5)]
+        # LZW-style coded payload is high-entropy (like PNG IDAT) but the
+        # palette ramp and frame headers keep it below keystream level.
+        assert 0.7 < np.mean(values) < 0.995
+
+    def test_gif_in_kind_registry(self, rng):
+        data = generate_binary_file(1024, rng, kind="gif")
+        assert data.startswith(b"GIF89a")

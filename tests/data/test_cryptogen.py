@@ -1,0 +1,99 @@
+"""Tests for the keystream ciphers and encrypted-file generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import kgram_entropy
+from repro.data.cryptogen import (
+    CIPHER_KINDS,
+    HashCtrCipher,
+    Rc4Cipher,
+    generate_encrypted_file,
+)
+
+
+class TestRc4:
+    def test_known_test_vector(self):
+        # RFC 6229 / classic vector: key "Key", plaintext "Plaintext".
+        cipher = Rc4Cipher(b"Key")
+        assert cipher.process(b"Plaintext") == bytes.fromhex("bbf316e8d940af0ad3")
+
+    def test_second_known_vector(self):
+        cipher = Rc4Cipher(b"Wiki")
+        assert cipher.process(b"pedia") == bytes.fromhex("1021bf0420")
+
+    def test_involutory(self):
+        plaintext = b"the quick brown fox" * 10
+        ciphertext = Rc4Cipher(b"secret").process(plaintext)
+        assert Rc4Cipher(b"secret").process(ciphertext) == plaintext
+        assert ciphertext != plaintext
+
+    def test_keystream_continuation(self):
+        whole = Rc4Cipher(b"k").keystream(64)
+        split = Rc4Cipher(b"k")
+        assert split.keystream(20) + split.keystream(44) == whole
+
+    def test_key_length_validation(self):
+        with pytest.raises(ValueError, match="1..256"):
+            Rc4Cipher(b"")
+        with pytest.raises(ValueError, match="1..256"):
+            Rc4Cipher(b"x" * 257)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match="n must be"):
+            Rc4Cipher(b"k").keystream(-1)
+
+
+class TestHashCtr:
+    def test_involutory(self):
+        plaintext = b"sensitive document contents" * 20
+        ciphertext = HashCtrCipher(b"key", b"nonce").process(plaintext)
+        assert HashCtrCipher(b"key", b"nonce").process(ciphertext) == plaintext
+
+    def test_different_nonce_different_stream(self):
+        a = HashCtrCipher(b"key", b"n1").keystream(64)
+        b = HashCtrCipher(b"key", b"n2").keystream(64)
+        assert a != b
+
+    def test_keystream_continuation(self):
+        whole = HashCtrCipher(b"key").keystream(200)
+        split = HashCtrCipher(b"key")
+        assert split.keystream(77) + split.keystream(123) == whole
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            HashCtrCipher(b"")
+
+
+class TestEncryptedFiles:
+    def test_exact_size(self, rng):
+        for kind in CIPHER_KINDS:
+            assert len(generate_encrypted_file(3000, rng, kind=kind)) == 3000
+
+    def test_near_maximal_entropy(self, rng):
+        """Hypothesis 1: raw ciphertext sits at the top of the scale.
+
+        A minority of generated files are PGP-style ASCII-armored (base64
+        text, h1 ~ 0.75); the raw-keystream majority must be near-uniform.
+        """
+        for kind in CIPHER_KINDS:
+            values = []
+            for _ in range(20):
+                data = generate_encrypted_file(8192, rng, kind=kind)
+                if not data.startswith(b"-----BEGIN"):
+                    values.append(kgram_entropy(data, 1))
+            assert values, kind
+            assert min(values) > 0.99, kind
+
+    def test_unknown_cipher_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown cipher"):
+            generate_encrypted_file(100, rng, kind="rot13")
+
+    def test_deterministic_given_seed(self):
+        a = generate_encrypted_file(1024, np.random.default_rng(5))
+        b = generate_encrypted_file(1024, np.random.default_rng(5))
+        assert a == b
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError, match="size"):
+            generate_encrypted_file(0, rng)

@@ -1,0 +1,72 @@
+"""Tests for the Markov text model and word lists."""
+
+import numpy as np
+import pytest
+
+from repro.data.markov import MarkovTextModel
+from repro.data.wordlists import COMMON_WORDS, SAMPLE_SENTENCES, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_head_heavy(self):
+        weights = zipf_weights(len(COMMON_WORDS))
+        assert weights[:20].sum() > 0.4  # Zipf: top ranks dominate
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="count"):
+            zipf_weights(0)
+        with pytest.raises(ValueError, match="exponent"):
+            zipf_weights(10, exponent=0.0)
+
+
+class TestMarkovTextModel:
+    def test_sentence_shape(self, rng):
+        model = MarkovTextModel()
+        sentence = model.generate_sentence(rng)
+        assert sentence.endswith(".")
+        assert sentence[0].isupper()
+        assert 4 <= len(sentence.split()) <= 18
+
+    def test_generate_reaches_size(self, rng):
+        model = MarkovTextModel()
+        text = model.generate(5000, rng)
+        assert len(text) >= 5000
+
+    def test_has_paragraph_breaks(self, rng):
+        model = MarkovTextModel()
+        assert "\n\n" in model.generate(5000, rng)
+
+    def test_words_come_from_model_vocabulary(self, rng):
+        model = MarkovTextModel()
+        vocabulary = set(COMMON_WORDS)
+        for sentence in SAMPLE_SENTENCES:
+            vocabulary.update(sentence.split())
+        words = model.generate(2000, rng).replace(".", "").lower().split()
+        unknown = [w for w in words if w not in vocabulary]
+        assert not unknown
+
+    def test_deterministic_given_seed(self):
+        model = MarkovTextModel()
+        a = model.generate(500, np.random.default_rng(2))
+        b = model.generate(500, np.random.default_rng(2))
+        assert a == b
+
+    def test_empty_seed_sentences_rejected(self):
+        with pytest.raises(ValueError, match="seed sentence"):
+            MarkovTextModel(sentences=[])
+
+    def test_max_words_validation(self, rng):
+        with pytest.raises(ValueError, match="max_words"):
+            MarkovTextModel().generate_sentence(rng, max_words=2)
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError, match="size"):
+            MarkovTextModel().generate(0, rng)

@@ -1,0 +1,76 @@
+"""Tests for text-class generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import kgram_entropy
+from repro.data.textgen import (
+    TEXT_KINDS,
+    generate_email,
+    generate_html,
+    generate_log_file,
+    generate_plain_text,
+    generate_text_file,
+)
+
+
+class TestGeneratedShape:
+    def test_exact_size(self, rng):
+        for kind in TEXT_KINDS:
+            data = generate_text_file(4096, rng, kind=kind)
+            assert len(data) == 4096, kind
+
+    def test_pure_ascii(self, rng):
+        for kind in TEXT_KINDS:
+            data = generate_text_file(2048, rng, kind=kind)
+            assert max(data) < 128, kind
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown text kind"):
+            generate_text_file(100, rng, kind="telegram")
+
+    def test_size_validation(self, rng):
+        with pytest.raises(ValueError, match="size"):
+            generate_text_file(0, rng)
+
+
+class TestStyleMarkers:
+    def test_html_structure(self, rng):
+        page = generate_html(4096, rng)
+        assert page.startswith(b"<!DOCTYPE html>")
+        assert b"<body>" in page
+
+    def test_log_lines_have_levels(self, rng):
+        log = generate_log_file(4096, rng)
+        lines = log.split(b"\n")
+        assert len(lines) > 10
+        assert any(b"ERROR" in line or b"INFO" in line for line in lines)
+
+    def test_email_headers(self, rng):
+        message = generate_email(4096, rng)
+        assert message.startswith(b"From: ")
+        assert b"\r\nSubject: " in message
+        assert b"\r\n\r\n" in message  # header/body separator
+
+    def test_plain_text_has_sentences(self, rng):
+        text = generate_plain_text(2048, rng).decode("ascii")
+        assert text.count(".") > 5
+        assert " " in text
+
+
+class TestEntropyProfile:
+    def test_low_byte_entropy(self, rng):
+        """Text must land at the bottom of the entropy scale (Hypothesis 1)."""
+        for kind in TEXT_KINDS:
+            data = generate_text_file(8192, rng, kind=kind)
+            assert kgram_entropy(data, 1) < 0.75, kind
+
+    def test_deterministic_given_seed(self):
+        a = generate_text_file(1024, np.random.default_rng(5))
+        b = generate_text_file(1024, np.random.default_rng(5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_text_file(1024, np.random.default_rng(5))
+        b = generate_text_file(1024, np.random.default_rng(6))
+        assert a != b

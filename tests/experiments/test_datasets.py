@@ -1,0 +1,63 @@
+"""Tests for the shared experiment datasets."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.datasets import feature_matrix, standard_corpus, standard_trace
+
+
+class TestStandardCorpus:
+    def test_cached_identity(self):
+        assert standard_corpus(per_class=10, seed=3) is standard_corpus(
+            per_class=10, seed=3
+        )
+
+    def test_distinct_parameters_distinct_objects(self):
+        assert standard_corpus(per_class=10, seed=3) is not standard_corpus(
+            per_class=10, seed=4
+        )
+
+
+class TestStandardTrace:
+    def test_cached_identity(self):
+        assert standard_trace(n_flows=50, seed=3) is standard_trace(
+            n_flows=50, seed=3
+        )
+
+    def test_flow_count(self):
+        assert len(standard_trace(n_flows=50, seed=3).labels) == 50
+
+
+class TestFeatureMatrix:
+    def test_shape_and_labels(self):
+        X, y = feature_matrix(widths=(1, 2, 3), per_class=10, seed=3)
+        assert X.shape == (30, 3)
+        assert sorted(np.unique(y).tolist()) == [0, 1, 2]
+        assert np.bincount(y).tolist() == [10, 10, 10]
+
+    def test_values_in_unit_interval(self):
+        X, _ = feature_matrix(widths=(1, 5), per_class=10, seed=3)
+        assert X.min() >= 0.0
+        assert X.max() <= 1.0
+
+    def test_prefix_differs_from_whole(self):
+        whole, _ = feature_matrix(widths=(1,), per_class=10, seed=3)
+        prefix, _ = feature_matrix(widths=(1,), per_class=10, seed=3, prefix=32)
+        assert not np.allclose(whole, prefix)
+
+    def test_returns_copies(self):
+        X1, _ = feature_matrix(widths=(1,), per_class=10, seed=3)
+        X1[0, 0] = -99.0
+        X2, _ = feature_matrix(widths=(1,), per_class=10, seed=3)
+        assert X2[0, 0] != -99.0
+
+    def test_offset_requires_prefix(self):
+        with pytest.raises(ValueError, match="prefix"):
+            feature_matrix(widths=(1,), per_class=10, seed=3, offset_cap=100)
+
+    def test_offset_cap_changes_features(self):
+        plain, _ = feature_matrix(widths=(1,), per_class=10, seed=3, prefix=64)
+        offset, _ = feature_matrix(
+            widths=(1,), per_class=10, seed=3, prefix=64, offset_cap=512
+        )
+        assert not np.allclose(plain, offset)

@@ -1,0 +1,113 @@
+"""Tests for the command-line interface (gen-trace / train / classify)."""
+
+import json
+
+import pytest
+
+from repro.cli import _key_to_str, _str_to_key, build_parser, main
+from repro.core.classifier import IustitiaClassifier
+from repro.ml.persistence import load_classifier
+from repro.net.flow import FlowKey
+from repro.net.pcap import read_pcap
+
+
+class TestKeySerialization:
+    def test_round_trip(self):
+        key = FlowKey("10.1.2.3", 4444, "192.168.0.9", 80, 6)
+        assert _str_to_key(_key_to_str(key)) == key
+
+    def test_udp_round_trip(self):
+        key = FlowKey("1.1.1.1", 53, "2.2.2.2", 33333, 17)
+        assert _str_to_key(_key_to_str(key)) == key
+
+
+class TestGenTrace:
+    def test_writes_pcap_and_labels(self, tmp_path, capsys):
+        pcap = tmp_path / "out.pcap"
+        labels = tmp_path / "labels.json"
+        code = main([
+            "gen-trace", str(pcap), "--flows", "20", "--duration", "10",
+            "--seed", "5", "--labels", str(labels),
+        ])
+        assert code == 0
+        packets = read_pcap(pcap)
+        assert packets
+        truth = json.loads(labels.read_text())
+        assert len(truth) == 20
+        assert set(truth.values()) <= {"text", "binary", "encrypted"}
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+
+class TestTrainAndClassify:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cli")
+        model = tmp / "model.json"
+        pcap = tmp / "traffic.pcap"
+        labels = tmp / "labels.json"
+        assert main([
+            "train", str(model), "--model", "cart", "--buffer", "32",
+            "--per-class", "20", "--seed", "3",
+        ]) == 0
+        assert main([
+            "gen-trace", str(pcap), "--flows", "25", "--duration", "10",
+            "--seed", "9", "--labels", str(labels),
+        ]) == 0
+        return model, pcap, labels
+
+    def test_train_saves_loadable_classifier(self, artifacts):
+        model, _, _ = artifacts
+        loaded = load_classifier(model)
+        assert isinstance(loaded, IustitiaClassifier)
+        assert loaded.buffer_size == 32
+
+    def test_saved_model_is_plain_json(self, artifacts):
+        model, _, _ = artifacts
+        payload = json.loads(model.read_text())
+        assert payload["format"] == "repro/iustitia"
+
+    def test_classify_prints_flows(self, artifacts, capsys):
+        model, pcap, labels = artifacts
+        assert main(["classify", str(model), str(pcap),
+                     "--labels", str(labels)]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy vs ground truth" in out
+        assert "flows classified" in out
+
+    def test_classify_writes_json(self, artifacts, tmp_path, capsys):
+        model, pcap, _ = artifacts
+        out_json = tmp_path / "results.json"
+        assert main(["classify", str(model), str(pcap),
+                     "--json", str(out_json)]) == 0
+        results = json.loads(out_json.read_text())
+        assert results
+        assert {"flow", "nature", "classified_at", "buffered_bytes"} <= set(
+            results[0]
+        )
+
+    def test_classify_rejects_non_model_file(self, artifacts, tmp_path, capsys):
+        _, pcap, _ = artifacts
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"not": "a model"}))
+        assert main(["classify", str(bogus), str(pcap)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("gen-trace", "train", "classify"):
+            # argparse raises on missing required positionals only at parse
+            # time; supplying them must succeed.
+            args = {
+                "gen-trace": ["gen-trace", "x.pcap"],
+                "train": ["train", "m.pkl"],
+                "classify": ["classify", "m.pkl", "x.pcap"],
+            }[command]
+            namespace = parser.parse_args(args)
+            assert callable(namespace.func)

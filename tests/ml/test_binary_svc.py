@@ -1,0 +1,66 @@
+"""Tests for the binary SVC wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.svm.binary import BinarySVC
+from repro.ml.svm.kernels import LinearKernel, RbfKernel
+
+
+def _blobs(rng, n=30, gap=2.0):
+    X = np.vstack([rng.normal(0, 0.4, (n, 2)), rng.normal(gap, 0.4, (n, 2))])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return X, y
+
+
+class TestFitPredict:
+    def test_separable_perfect(self, rng):
+        X, y = _blobs(rng)
+        clf = BinarySVC(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        assert clf.score(X, y) == 1.0
+        assert clf.converged_
+
+    def test_arbitrary_labels_preserved(self, rng):
+        X, _ = _blobs(rng)
+        y = np.array(["alpha"] * 30 + ["beta"] * 30)
+        # String labels are not ints: encode via indices.
+        encoded = np.array([3] * 30 + [9] * 30)
+        clf = BinarySVC(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, encoded)
+        assert set(clf.predict(X).tolist()) <= {3, 9}
+
+    def test_decision_function_sign_matches_predict(self, rng):
+        X, y = _blobs(rng, gap=1.0)
+        clf = BinarySVC(C=5.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        scores = clf.decision_function(X)
+        predictions = clf.predict(X)
+        np.testing.assert_array_equal(predictions == 1, scores >= 0)
+
+    def test_only_support_vectors_retained(self, rng):
+        X, y = _blobs(rng, gap=3.0)
+        clf = BinarySVC(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        # Widely separated blobs: few SVs needed.
+        assert clf.n_support_ < len(y)
+        assert clf.support_vectors_.shape[0] == clf.dual_coef_.shape[0]
+
+    def test_more_than_two_classes_rejected(self, rng):
+        X = rng.random((9, 2))
+        with pytest.raises(ValueError, match="exactly 2"):
+            BinarySVC().fit(X, [0, 1, 2] * 3)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            BinarySVC().predict([[0.0, 0.0]])
+
+    def test_c_validation(self):
+        with pytest.raises(ValueError, match="C must be"):
+            BinarySVC(C=-1.0)
+
+
+class TestRegularization:
+    def test_small_c_allows_margin_violations(self, rng):
+        X, y = _blobs(rng, gap=0.3)  # heavy overlap
+        soft = BinarySVC(C=0.01, kernel=LinearKernel()).fit(X, y)
+        hard = BinarySVC(C=1000.0, kernel=LinearKernel()).fit(X, y)
+        # The soft machine keeps (almost) everything as bounded SVs.
+        assert soft.n_support_ >= hard.n_support_

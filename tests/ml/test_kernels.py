@@ -1,0 +1,79 @@
+"""Tests for kernel functions."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm.kernels import LinearKernel, PolynomialKernel, RbfKernel
+
+
+class TestLinearKernel:
+    def test_matches_inner_products(self, rng):
+        X = rng.random((5, 3))
+        Y = rng.random((4, 3))
+        np.testing.assert_allclose(LinearKernel()(X, Y), X @ Y.T)
+
+    def test_diagonal(self, rng):
+        X = rng.random((6, 3))
+        np.testing.assert_allclose(
+            LinearKernel().diagonal(X), np.diag(LinearKernel()(X, X))
+        )
+
+
+class TestPolynomialKernel:
+    def test_degree_one_is_affine_linear(self, rng):
+        X = rng.random((4, 2))
+        kernel = PolynomialKernel(degree=1, gamma=2.0, coef0=3.0)
+        np.testing.assert_allclose(kernel(X, X), 2.0 * X @ X.T + 3.0)
+
+    def test_known_value(self):
+        X = np.array([[1.0, 2.0]])
+        kernel = PolynomialKernel(degree=2, gamma=1.0, coef0=1.0)
+        assert kernel(X, X)[0, 0] == pytest.approx((1 + 5) ** 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="degree"):
+            PolynomialKernel(degree=0)
+        with pytest.raises(ValueError, match="gamma"):
+            PolynomialKernel(gamma=0.0)
+
+
+class TestRbfKernel:
+    def test_self_similarity_is_one(self, rng):
+        X = rng.random((5, 4))
+        gram = RbfKernel(gamma=50.0)(X, X)
+        np.testing.assert_allclose(np.diag(gram), 1.0)
+
+    def test_symmetric(self, rng):
+        X = rng.random((6, 3))
+        gram = RbfKernel(gamma=5.0)(X, X)
+        np.testing.assert_allclose(gram, gram.T)
+
+    def test_bounded_zero_one(self, rng):
+        gram = RbfKernel(gamma=10.0)(rng.random((8, 3)), rng.random((7, 3)))
+        assert gram.min() >= 0.0
+        assert gram.max() <= 1.0
+
+    def test_known_value(self):
+        X = np.array([[0.0]])
+        Y = np.array([[1.0]])
+        assert RbfKernel(gamma=2.0)(X, Y)[0, 0] == pytest.approx(np.exp(-2.0))
+
+    def test_distance_monotone(self):
+        X = np.array([[0.0]])
+        kernel = RbfKernel(gamma=1.0)
+        closer = kernel(X, np.array([[0.5]]))[0, 0]
+        farther = kernel(X, np.array([[2.0]]))[0, 0]
+        assert closer > farther
+
+    def test_diagonal_is_ones(self, rng):
+        assert (RbfKernel().diagonal(rng.random((9, 2))) == 1.0).all()
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError, match="gamma"):
+            RbfKernel(gamma=-1.0)
+
+    def test_gram_psd(self, rng):
+        X = rng.random((20, 4))
+        gram = RbfKernel(gamma=50.0)(X, X)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-10

@@ -1,0 +1,92 @@
+"""Tests for classification metrics (Table 1 layout)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    misclassification_rates,
+    per_class_accuracy,
+)
+
+
+class TestAccuracyScore:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 2], [0, 1, 2]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([0, 1, 2, 0], [0, 1, 0, 0]) == 0.75
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            accuracy_score([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            accuracy_score([0, 1], [0])
+
+
+class TestConfusionMatrix:
+    def test_layout_true_rows_pred_columns(self):
+        matrix = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 0], labels=[0, 1, 2])
+        expected = np.array([[1, 1, 0], [0, 1, 0], [1, 0, 0]])
+        np.testing.assert_array_equal(matrix, expected)
+
+    def test_total_preserved(self, rng):
+        y_true = rng.integers(0, 3, 50)
+        y_pred = rng.integers(0, 3, 50)
+        matrix = confusion_matrix(y_true, y_pred, labels=[0, 1, 2])
+        assert matrix.sum() == 50
+
+    def test_unknown_true_label_rejected(self):
+        with pytest.raises(ValueError, match="true label"):
+            confusion_matrix([5], [0], labels=[0, 1])
+
+    def test_unknown_pred_label_rejected(self):
+        with pytest.raises(ValueError, match="predicted label"):
+            confusion_matrix([0], [5], labels=[0, 1])
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            confusion_matrix([0], [0], labels=[])
+
+
+class TestPerClassAccuracy:
+    def test_recall_per_class(self):
+        result = per_class_accuracy(
+            [0, 0, 1, 1, 1, 2], [0, 1, 1, 1, 0, 2], labels=[0, 1, 2]
+        )
+        assert result[0] == pytest.approx(0.5)
+        assert result[1] == pytest.approx(2 / 3)
+        assert result[2] == 1.0
+
+    def test_absent_class_is_nan(self):
+        result = per_class_accuracy([0, 0], [0, 0], labels=[0, 1])
+        assert np.isnan(result[1])
+
+
+class TestMisclassificationRates:
+    def test_off_diagonal_rates(self):
+        # Two of four class-0 samples predicted as 1: rate (0 -> 1) = 0.5.
+        rates = misclassification_rates(
+            [0, 0, 0, 0, 1], [0, 0, 1, 1, 1], labels=[0, 1]
+        )
+        assert rates[(0, 1)] == pytest.approx(0.5)
+        assert rates[(1, 0)] == 0.0
+
+    def test_no_diagonal_entries(self):
+        rates = misclassification_rates([0, 1], [0, 1], labels=[0, 1, 2])
+        assert all(a != b for a, b in rates)
+        assert len(rates) == 6
+
+    def test_rows_sum_with_recall_to_one(self, rng):
+        y_true = rng.integers(0, 3, 200)
+        y_pred = rng.integers(0, 3, 200)
+        rates = misclassification_rates(y_true, y_pred, labels=[0, 1, 2])
+        recall = per_class_accuracy(y_true, y_pred, labels=[0, 1, 2])
+        for label in (0, 1, 2):
+            row = recall[label] + sum(
+                rates[(label, other)] for other in (0, 1, 2) if other != label
+            )
+            assert row == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Tests for grid-search model selection."""
+
+import numpy as np
+import pytest
+
+from repro.ml.model_selection import grid_search
+from repro.ml.svm.dagsvm import DagSvmClassifier
+from repro.ml.svm.kernels import RbfKernel
+from repro.ml.tree.cart import DecisionTreeClassifier
+
+
+class TestGridSearch:
+    def test_finds_obviously_better_depth(self, blob_features, rng):
+        X, y = blob_features
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [1, 6]},
+            X, y, n_splits=3, rng=rng,
+        )
+        # Depth 1 cannot separate three classes; depth 6 can.
+        assert result.best_params == {"max_depth": 6}
+        assert result.best_score > result.score_for(max_depth=1)
+
+    def test_all_combinations_scored(self, blob_features, rng):
+        X, y = blob_features
+        result = grid_search(
+            lambda max_depth, min_samples_leaf: DecisionTreeClassifier(
+                max_depth=max_depth, min_samples_leaf=min_samples_leaf
+            ),
+            {"max_depth": [2, 4], "min_samples_leaf": [1, 5]},
+            X, y, n_splits=3, rng=rng,
+        )
+        assert len(result.scores) == 4
+
+    def test_score_for_unknown_combination(self, blob_features, rng):
+        X, y = blob_features
+        result = grid_search(
+            lambda max_depth: DecisionTreeClassifier(max_depth=max_depth),
+            {"max_depth": [2]}, X, y, n_splits=3, rng=rng,
+        )
+        with pytest.raises(KeyError, match="grid point"):
+            result.score_for(max_depth=99)
+
+    def test_empty_grid_rejected(self, blob_features):
+        X, y = blob_features
+        with pytest.raises(ValueError, match="non-empty"):
+            grid_search(lambda: None, {}, X, y)
+        with pytest.raises(ValueError, match="empty value list"):
+            grid_search(lambda g: None, {"g": []}, X, y)
+
+    def test_svm_gamma_selection_shape(self, blob_features, rng):
+        # The paper's model selection lands on a large gamma for entropy
+        # features; a tiny gamma must not win.
+        X, y = blob_features
+        result = grid_search(
+            lambda gamma: DagSvmClassifier(C=1000.0, kernel=RbfKernel(gamma=gamma)),
+            {"gamma": [0.01, 50.0]},
+            X, y, n_splits=3, rng=rng,
+        )
+        assert result.best_params["gamma"] == 50.0

@@ -1,0 +1,87 @@
+"""Tests for DAGSVM and one-vs-one multi-class reductions."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.svm.dagsvm import DagSvmClassifier
+from repro.ml.svm.kernels import RbfKernel
+from repro.ml.svm.ovo import OneVsOneSVC
+
+
+def _three_blobs(rng, n=25):
+    centers = [(0.0, 0.0), (2.5, 0.0), (0.0, 2.5)]
+    X = np.vstack([rng.normal(c, 0.4, (n, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], n)
+    return X, y
+
+
+class TestDagSvm:
+    def test_three_blobs_high_accuracy(self, rng):
+        X, y = _three_blobs(rng)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_trains_k_choose_2_machines(self, rng):
+        X, y = _three_blobs(rng)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        assert len(clf.pairwise_) == 3
+        assert set(clf.pairwise_) == {(0, 1), (0, 2), (1, 2)}
+
+    def test_four_classes(self, rng):
+        centers = [(0, 0), (3, 0), (0, 3), (3, 3)]
+        X = np.vstack([rng.normal(c, 0.3, (15, 2)) for c in centers])
+        y = np.repeat([0, 1, 2, 3], 15)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        assert len(clf.pairwise_) == 6
+        assert clf.score(X, y) > 0.95
+
+    def test_predictions_are_training_labels(self, rng):
+        X, y = _three_blobs(rng)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(
+            X, y + 10
+        )
+        assert set(clf.predict(X).tolist()) <= {10, 11, 12}
+
+    def test_single_class_rejected(self, rng):
+        X = rng.random((5, 2))
+        with pytest.raises(ValueError, match="at least 2"):
+            DagSvmClassifier().fit(X, [1] * 5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DagSvmClassifier().predict([[0.0, 0.0]])
+
+    def test_total_support_vectors(self, rng):
+        X, y = _three_blobs(rng)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        assert clf.total_support_vectors_ == sum(
+            m.n_support_ for m in clf.pairwise_.values()
+        )
+
+
+class TestOneVsOne:
+    def test_three_blobs_high_accuracy(self, rng):
+        X, y = _three_blobs(rng)
+        clf = OneVsOneSVC(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        assert clf.score(X, y) > 0.95
+
+    def test_agrees_with_dagsvm_on_easy_data(self, rng):
+        X, y = _three_blobs(rng)
+        dag = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        ovo = OneVsOneSVC(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        agreement = np.mean(dag.predict(X) == ovo.predict(X))
+        # Well-separated blobs: the two reductions should rarely disagree
+        # (the paper picked DAGSVM for speed, not accuracy).
+        assert agreement > 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OneVsOneSVC().predict([[0.0]])
+
+
+class TestEntropyFeatureMulticlass:
+    def test_paper_parameters_on_corpus(self, blob_features):
+        X, y = blob_features
+        clf = DagSvmClassifier(C=1000.0, kernel=RbfKernel(gamma=50.0)).fit(X, y)
+        assert clf.score(X, y) > 0.9

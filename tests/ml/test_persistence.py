@@ -1,0 +1,141 @@
+"""Tests for JSON model persistence (pickle-free round trips)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import IustitiaClassifier, TrainingMethod
+from repro.core.estimation import EntropyEstimator
+from repro.core.features import PHI_SVM_PRIME
+from repro.ml.persistence import (
+    load_classifier,
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_classifier,
+    save_model,
+)
+from repro.ml.svm.dagsvm import DagSvmClassifier
+from repro.ml.svm.kernels import LinearKernel, PolynomialKernel, RbfKernel
+from repro.ml.tree.cart import DecisionTreeClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted_models(blob_features):
+    X, y = blob_features
+    cart = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    svm = DagSvmClassifier(C=100.0, kernel=RbfKernel(gamma=20.0)).fit(X, y)
+    return cart, svm, X, y
+
+
+class TestCartRoundTrip:
+    def test_predictions_identical(self, fitted_models, tmp_path):
+        cart, _, X, _ = fitted_models
+        path = tmp_path / "cart.json"
+        save_model(cart, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(X), cart.predict(X))
+
+    def test_structure_preserved(self, fitted_models, tmp_path):
+        cart, _, _, _ = fitted_models
+        path = tmp_path / "cart.json"
+        save_model(cart, path)
+        loaded = load_model(path)
+        assert loaded.node_count == cart.node_count
+        assert loaded.depth == cart.depth
+        assert loaded.max_depth == cart.max_depth
+
+    def test_file_is_plain_json(self, fitted_models, tmp_path):
+        cart, _, _, _ = fitted_models
+        path = tmp_path / "cart.json"
+        save_model(cart, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro/cart"
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="unfitted"):
+            model_to_dict(DecisionTreeClassifier())
+
+
+class TestDagSvmRoundTrip:
+    def test_predictions_identical(self, fitted_models, tmp_path):
+        _, svm, X, _ = fitted_models
+        path = tmp_path / "svm.json"
+        save_model(svm, path)
+        loaded = load_model(path)
+        np.testing.assert_array_equal(loaded.predict(X), svm.predict(X))
+
+    def test_support_vectors_preserved(self, fitted_models, tmp_path):
+        _, svm, _, _ = fitted_models
+        path = tmp_path / "svm.json"
+        save_model(svm, path)
+        loaded = load_model(path)
+        assert loaded.total_support_vectors_ == svm.total_support_vectors_
+
+    def test_kernel_parameters_preserved(self, fitted_models, tmp_path):
+        _, svm, _, _ = fitted_models
+        path = tmp_path / "svm.json"
+        save_model(svm, path)
+        loaded = load_model(path)
+        assert loaded.kernel.gamma == svm.kernel.gamma
+
+    def test_linear_and_poly_kernels_round_trip(self, blob_features):
+        X, y = blob_features
+        for kernel in (LinearKernel(), PolynomialKernel(degree=2)):
+            svm = DagSvmClassifier(C=10.0, kernel=kernel).fit(X, y)
+            loaded = model_from_dict(model_to_dict(svm))
+            np.testing.assert_array_equal(loaded.predict(X), svm.predict(X))
+
+
+class TestErrorHandling:
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown model format"):
+            model_from_dict({"format": "repro/forest", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            model_from_dict({"format": "repro/cart", "version": 99})
+
+    def test_non_model_rejected(self):
+        with pytest.raises(TypeError, match="cannot serialize"):
+            model_to_dict(object())
+
+
+class TestClassifierRoundTrip:
+    def test_full_classifier(self, small_corpus, tmp_path):
+        clf = IustitiaClassifier(model="cart", buffer_size=64).fit_corpus(
+            small_corpus
+        )
+        path = tmp_path / "iustitia.json"
+        save_classifier(clf, path)
+        loaded = load_classifier(path)
+        assert loaded.buffer_size == 64
+        assert loaded.feature_set.widths == clf.feature_set.widths
+        assert loaded.training == TrainingMethod.FIRST_B
+        sample = small_corpus.files[0]
+        assert loaded.classify_file(sample.data) == clf.classify_file(sample.data)
+
+    def test_estimator_parameters_survive(self, small_corpus, tmp_path):
+        estimator = EntropyEstimator(
+            epsilon=0.3, delta=0.6, buffer_size=1024, features=PHI_SVM_PRIME
+        )
+        clf = IustitiaClassifier(
+            model="cart", buffer_size=1024, estimator=estimator
+        ).fit_corpus(small_corpus)
+        path = tmp_path / "iustitia-est.json"
+        save_classifier(clf, path)
+        loaded = load_classifier(path)
+        assert loaded.estimator is not None
+        assert loaded.estimator.epsilon == 0.3
+        assert loaded.estimator.delta == 0.6
+
+    def test_non_classifier_rejected(self, tmp_path):
+        with pytest.raises(TypeError, match="IustitiaClassifier"):
+            save_classifier("not a classifier", tmp_path / "x.json")
+
+    def test_unknown_classifier_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "other", "version": 1}))
+        with pytest.raises(ValueError, match="unknown classifier format"):
+            load_classifier(path)

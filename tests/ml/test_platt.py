@@ -1,0 +1,80 @@
+"""Tests for Platt sigmoid calibration."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm.binary import BinarySVC
+from repro.ml.svm.kernels import RbfKernel
+from repro.ml.svm.platt import SigmoidCalibrator, fit_sigmoid
+
+
+class TestFitSigmoid:
+    def test_monotone_in_decision_value(self, rng):
+        f = rng.normal(0, 2, 200)
+        y = np.where(f + rng.normal(0, 0.5, 200) > 0, 1.0, -1.0)
+        a, b = fit_sigmoid(f, y)
+        calibrator = SigmoidCalibrator(a, b)
+        probs = calibrator.probability(np.linspace(-3, 3, 20))
+        assert all(q >= p for p, q in zip(probs, probs[1:]))
+
+    def test_probabilities_in_unit_interval(self, rng):
+        f = rng.normal(0, 1, 100)
+        y = np.sign(f + rng.normal(0, 1, 100))
+        y[y == 0] = 1
+        a, b = fit_sigmoid(f, y)
+        probs = SigmoidCalibrator(a, b).probability(f)
+        assert probs.min() >= 0.0
+        assert probs.max() <= 1.0
+
+    def test_balanced_midpoint_near_half(self, rng):
+        # Symmetric data: P(f = 0) should be near 0.5.
+        f = np.concatenate([rng.normal(-1, 0.3, 100), rng.normal(1, 0.3, 100)])
+        y = np.concatenate([-np.ones(100), np.ones(100)])
+        a, b = fit_sigmoid(f, y)
+        assert SigmoidCalibrator(a, b).probability([0.0])[0] == pytest.approx(
+            0.5, abs=0.1
+        )
+
+    def test_separable_data_smoothing(self):
+        # Perfectly separable: Platt targets keep probabilities off 0/1.
+        f = np.array([-2.0, -1.5, 1.5, 2.0])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        a, b = fit_sigmoid(f, y)
+        probs = SigmoidCalibrator(a, b).probability(f)
+        assert probs.min() > 0.0
+        assert probs.max() < 1.0
+
+    def test_calibration_quality(self, rng):
+        # On logistic-generated data the fitted curve should recover the
+        # true success rate within a few points (binned check).
+        true_a = 1.5
+        f = rng.uniform(-3, 3, 3000)
+        p_true = 1.0 / (1.0 + np.exp(-true_a * f))
+        y = np.where(rng.random(3000) < p_true, 1.0, -1.0)
+        a, b = fit_sigmoid(f, y)
+        calibrator = SigmoidCalibrator(a, b)
+        mask = (f > 0.5) & (f < 1.5)
+        predicted = calibrator.probability(f[mask]).mean()
+        empirical = (y[mask] > 0).mean()
+        assert predicted == pytest.approx(empirical, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="labels"):
+            fit_sigmoid([1.0, 2.0], [1.0])
+        with pytest.raises(ValueError, match="at least one"):
+            fit_sigmoid([], [])
+        with pytest.raises(ValueError, match="both classes"):
+            fit_sigmoid([1.0, 2.0], [1.0, 1.0])
+
+
+class TestWithSvc:
+    def test_calibrated_svc_probabilities(self, rng):
+        X = np.vstack([rng.normal(0, 0.5, (60, 2)), rng.normal(1.5, 0.5, (60, 2))])
+        y = np.concatenate([np.zeros(60, dtype=int), np.ones(60, dtype=int)])
+        svc = BinarySVC(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        calibrator = SigmoidCalibrator.fit(svc, X, y)
+        probs = calibrator.probability(svc.decision_function(X))
+        # High probability for confidently-positive samples, low for
+        # confidently-negative ones.
+        assert probs[y == 1].mean() > 0.7
+        assert probs[y == 0].mean() < 0.3

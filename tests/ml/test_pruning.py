@@ -1,0 +1,91 @@
+"""Tests for cost-complexity pruning."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree.cart import DecisionTreeClassifier
+from repro.ml.tree.pruning import (
+    cost_complexity_path,
+    prune_to_accuracy,
+    pruned_copy,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_tree(blob_features):
+    X, y = blob_features
+    return DecisionTreeClassifier().fit(X, y), X, y
+
+
+class TestPrunedCopy:
+    def test_original_untouched(self, fitted_tree):
+        clf, X, y = fitted_tree
+        before = clf.node_count
+        internal = [n for n in clf.nodes() if not n.is_leaf]
+        pruned = pruned_copy(clf, {internal[0].node_id})
+        assert clf.node_count == before
+        assert pruned.node_count < before
+
+    def test_collapsed_node_becomes_leaf(self, fitted_tree):
+        clf, X, y = fitted_tree
+        root_id = clf.root_.node_id
+        pruned = pruned_copy(clf, {root_id})
+        assert pruned.root_.is_leaf
+        assert pruned.node_count == 1
+
+    def test_empty_set_is_identity(self, fitted_tree):
+        clf, X, y = fitted_tree
+        pruned = pruned_copy(clf, set())
+        assert pruned.node_count == clf.node_count
+        np.testing.assert_array_equal(pruned.predict(X), clf.predict(X))
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ValueError, match="fitted"):
+            pruned_copy(DecisionTreeClassifier(), set())
+
+
+class TestCostComplexityPath:
+    def test_path_ends_at_root_stump(self, fitted_tree):
+        clf, X, y = fitted_tree
+        path = cost_complexity_path(clf)
+        assert path[0][1].node_count == clf.node_count
+        assert path[-1][1].node_count == 1
+
+    def test_monotone_shrinking(self, fitted_tree):
+        clf, _, _ = fitted_tree
+        sizes = [tree.node_count for _, tree in cost_complexity_path(clf)]
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))
+
+    def test_alphas_non_negative(self, fitted_tree):
+        clf, _, _ = fitted_tree
+        alphas = [alpha for alpha, _ in cost_complexity_path(clf)]
+        assert all(a >= 0 for a in alphas)
+
+    def test_training_risk_non_decreasing(self, fitted_tree):
+        clf, X, y = fitted_tree
+        scores = [tree.score(X, y) for _, tree in cost_complexity_path(clf)]
+        # Resubstitution accuracy can only fall as the tree shrinks.
+        assert all(b <= a + 1e-12 for a, b in zip(scores, scores[1:]))
+
+
+class TestPruneToAccuracy:
+    def test_respects_accuracy_budget(self, fitted_tree):
+        clf, X, y = fitted_tree
+        base = clf.score(X, y)
+        pruned = prune_to_accuracy(clf, X, y, max_drop=0.02)
+        assert pruned.score(X, y) >= base - 0.02
+
+    def test_smaller_than_original(self, fitted_tree):
+        clf, X, y = fitted_tree
+        pruned = prune_to_accuracy(clf, X, y, max_drop=0.05)
+        assert pruned.node_count <= clf.node_count
+
+    def test_zero_budget_keeps_accuracy(self, fitted_tree):
+        clf, X, y = fitted_tree
+        pruned = prune_to_accuracy(clf, X, y, max_drop=0.0)
+        assert pruned.score(X, y) >= clf.score(X, y)
+
+    def test_validation(self, fitted_tree):
+        clf, X, y = fitted_tree
+        with pytest.raises(ValueError, match="max_drop"):
+            prune_to_accuracy(clf, X, y, max_drop=1.0)

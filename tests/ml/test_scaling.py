@@ -1,0 +1,58 @@
+"""Tests for feature scalers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import NotFittedError
+from repro.ml.svm.scaling import MinMaxScaler, StandardScaler
+
+
+class TestMinMaxScaler:
+    def test_output_in_unit_interval(self, rng):
+        X = rng.normal(5.0, 3.0, (40, 4))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+
+    def test_extremes_map_to_bounds(self):
+        X = np.array([[1.0], [3.0], [5.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled[0, 0] == 0.0
+        assert scaled[-1, 0] == 1.0
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((5, 1), 7.0)
+        scaled = MinMaxScaler().fit_transform(X)
+        assert (scaled == 0.0).all()
+
+    def test_transform_uses_fit_statistics(self, rng):
+        train = rng.random((20, 2))
+        scaler = MinMaxScaler().fit(train)
+        outside = scaler.transform(train.max(axis=0, keepdims=True) * 2)
+        assert (outside > 1.0).all()  # no re-fitting on transform
+
+    def test_feature_count_checked(self, rng):
+        scaler = MinMaxScaler().fit(rng.random((5, 3)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(rng.random((2, 4)))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform([[1.0]])
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(10.0, 2.0, (200, 3))
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.full((5, 2), 3.0)
+        scaled = StandardScaler().fit_transform(X)
+        assert (scaled == 0.0).all()
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])

@@ -1,0 +1,120 @@
+"""Tests for the SMO dual solver: KKT conditions and optimality."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm.kernels import LinearKernel, RbfKernel
+from repro.ml.svm.smo import solve_smo
+
+
+def _blobs(rng, n=40, gap=1.5):
+    X = np.vstack([rng.normal(0, 0.5, (n, 2)), rng.normal(gap, 0.5, (n, 2))])
+    y = np.concatenate([-np.ones(n), np.ones(n)])
+    return X, y
+
+
+def _dual_objective(K, y, alpha):
+    Q = (y[:, None] * y[None, :]) * K
+    return 0.5 * alpha @ Q @ alpha - alpha.sum()
+
+
+class TestConvergence:
+    def test_converges_on_separable_blobs(self, rng):
+        X, y = _blobs(rng)
+        K = RbfKernel(gamma=1.0)(X, X)
+        result = solve_smo(K, y, C=10.0)
+        assert result.converged
+        assert result.kkt_gap < 1e-3
+
+    def test_equality_constraint_held(self, rng):
+        X, y = _blobs(rng)
+        K = RbfKernel(gamma=1.0)(X, X)
+        result = solve_smo(K, y, C=10.0)
+        assert abs((result.alpha * y).sum()) < 1e-8
+
+    def test_box_constraints_held(self, rng):
+        X, y = _blobs(rng, gap=0.5)  # overlapping: some alphas at C
+        K = RbfKernel(gamma=1.0)(X, X)
+        result = solve_smo(K, y, C=2.0)
+        assert result.alpha.min() >= 0.0
+        assert result.alpha.max() <= 2.0
+
+    def test_free_svs_on_margin(self, rng):
+        X, y = _blobs(rng)
+        K = RbfKernel(gamma=1.0)(X, X)
+        result = solve_smo(K, y, C=10.0, tol=1e-4)
+        f = K @ (result.alpha * y) + result.bias
+        free = (result.alpha > 1e-6) & (result.alpha < 10.0 - 1e-6)
+        assert free.any()
+        np.testing.assert_allclose((y * f)[free], 1.0, atol=5e-4)
+
+    def test_kkt_complementarity(self, rng):
+        X, y = _blobs(rng, gap=0.8)
+        K = RbfKernel(gamma=1.0)(X, X)
+        result = solve_smo(K, y, C=5.0, tol=1e-4)
+        f = K @ (result.alpha * y) + result.bias
+        margins = y * f
+        zero = result.alpha < 1e-6
+        at_bound = result.alpha > 5.0 - 1e-6
+        # alpha = 0 -> margin >= 1; alpha = C -> margin <= 1 (within tol).
+        assert (margins[zero] >= 1.0 - 1e-3).all()
+        assert (margins[at_bound] <= 1.0 + 1e-3).all()
+
+
+class TestOptimality:
+    def test_matches_scipy_qp(self, rng):
+        from scipy.optimize import minimize
+
+        X, y = _blobs(rng, n=10, gap=1.0)
+        K = RbfKernel(gamma=1.0)(X, X)
+        result = solve_smo(K, y, C=5.0, tol=1e-6)
+        Q = (y[:, None] * y[None, :]) * K
+        reference = minimize(
+            lambda a: 0.5 * a @ Q @ a - a.sum(),
+            np.zeros(y.size),
+            jac=lambda a: Q @ a - 1.0,
+            bounds=[(0.0, 5.0)] * y.size,
+            constraints=[{"type": "eq", "fun": lambda a: a @ y, "jac": lambda a: y}],
+            method="SLSQP",
+            options={"maxiter": 2000, "ftol": 1e-12},
+        )
+        assert _dual_objective(K, y, result.alpha) == pytest.approx(
+            reference.fun, abs=1e-4
+        )
+
+    def test_linear_kernel_recovers_separator(self, rng):
+        # Points at x = -1 and x = +1: w = 1, b = 0 is the max-margin line.
+        X = np.array([[-1.0], [-1.2], [1.0], [1.2]])
+        y = np.array([-1.0, -1.0, 1.0, 1.0])
+        K = LinearKernel()(X, X)
+        result = solve_smo(K, y, C=100.0, tol=1e-6)
+        w = (result.alpha * y) @ X
+        assert w[0] == pytest.approx(1.0, abs=1e-3)
+        assert result.bias == pytest.approx(0.0, abs=1e-3)
+
+
+class TestValidation:
+    def test_label_values_checked(self):
+        K = np.eye(4)
+        with pytest.raises(ValueError, match="-1 and \\+1"):
+            solve_smo(K, np.array([0, 1, 0, 1]), C=1.0)
+
+    def test_single_class_rejected(self):
+        K = np.eye(3)
+        with pytest.raises(ValueError, match="both classes"):
+            solve_smo(K, np.array([1.0, 1.0, 1.0]), C=1.0)
+
+    def test_gram_shape_checked(self):
+        with pytest.raises(ValueError, match="K must be"):
+            solve_smo(np.eye(3), np.array([-1.0, 1.0]), C=1.0)
+
+    def test_c_positive(self):
+        with pytest.raises(ValueError, match="C must be"):
+            solve_smo(np.eye(2), np.array([-1.0, 1.0]), C=0.0)
+
+    def test_max_iter_zero_returns_unconverged(self, rng):
+        X, y = _blobs(rng, n=10)
+        K = RbfKernel(gamma=1.0)(X, X)
+        result = solve_smo(K, y, C=1.0, max_iter=0)
+        assert not result.converged
+        assert result.iterations == 0

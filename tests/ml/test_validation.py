@@ -1,0 +1,76 @@
+"""Tests for stratified k-fold CV."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree.cart import DecisionTreeClassifier
+from repro.ml.validation import FoldResult, StratifiedKFold, cross_validate
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_everything(self, rng):
+        y = rng.integers(0, 3, 60)
+        splits = StratifiedKFold(5, rng=rng).split(y)
+        assert len(splits) == 5
+        all_test = np.concatenate([test for _, test in splits])
+        assert sorted(all_test.tolist()) == list(range(60))
+
+    def test_train_test_disjoint(self, rng):
+        y = rng.integers(0, 2, 40)
+        for train, test in StratifiedKFold(4, rng=rng).split(y):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_stratification_balances_classes(self, rng):
+        y = np.array([0] * 50 + [1] * 50)
+        for _, test in StratifiedKFold(5, rng=rng).split(y):
+            labels, counts = np.unique(y[test], return_counts=True)
+            assert labels.tolist() == [0, 1]
+            assert counts.tolist() == [10, 10]
+
+    def test_too_few_samples_per_class(self, rng):
+        with pytest.raises(ValueError, match="fewer than"):
+            StratifiedKFold(5, rng=rng).split([0, 0, 0, 0, 0, 1])
+
+    def test_n_splits_validation(self):
+        with pytest.raises(ValueError, match="n_splits"):
+            StratifiedKFold(1)
+
+    def test_deterministic_given_rng(self):
+        y = np.arange(30) % 3
+        a = StratifiedKFold(3, rng=np.random.default_rng(5)).split(y)
+        b = StratifiedKFold(3, rng=np.random.default_rng(5)).split(y)
+        for (tr_a, te_a), (tr_b, te_b) in zip(a, b):
+            np.testing.assert_array_equal(te_a, te_b)
+
+
+class TestCrossValidate:
+    def test_returns_one_result_per_fold(self, blob_features, rng):
+        X, y = blob_features
+        results = cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=4), X, y, n_splits=5, rng=rng
+        )
+        assert len(results) == 5
+        assert all(isinstance(r, FoldResult) for r in results)
+
+    def test_accuracies_match_predictions(self, blob_features, rng):
+        X, y = blob_features
+        results = cross_validate(
+            lambda: DecisionTreeClassifier(max_depth=4), X, y, n_splits=5, rng=rng
+        )
+        for result in results:
+            assert result.accuracy == pytest.approx(
+                float(np.mean(result.y_true == result.y_pred))
+            )
+
+    def test_fresh_estimator_per_fold(self, blob_features, rng):
+        X, y = blob_features
+        created = []
+
+        def factory():
+            clf = DecisionTreeClassifier(max_depth=3)
+            created.append(clf)
+            return clf
+
+        cross_validate(factory, X, y, n_splits=4, rng=rng)
+        assert len(created) == 4
+        assert len(set(map(id, created))) == 4

@@ -1,0 +1,54 @@
+"""Tests for application-protocol header generation."""
+
+import numpy as np
+import pytest
+
+from repro.net.appproto import (
+    APP_PROTOCOLS,
+    PROTOCOL_SIGNATURES,
+    make_app_header,
+    random_app_header,
+)
+
+
+class TestGenerators:
+    def test_every_protocol_generates_ascii(self, rng):
+        for name in APP_PROTOCOLS:
+            header = make_app_header(name, rng)
+            assert header
+            header.decode("ascii")  # must not raise
+
+    def test_headers_start_with_own_signature(self, rng):
+        for name, prefixes in PROTOCOL_SIGNATURES.items():
+            header = make_app_header(name, rng)
+            assert any(header.startswith(p) for p in prefixes), name
+
+    def test_headers_use_crlf_line_endings(self, rng):
+        for name in APP_PROTOCOLS:
+            header = make_app_header(name, rng)
+            assert b"\r\n" in header
+            assert b"\n" not in header.replace(b"\r\n", b"")
+
+    def test_http_request_has_terminating_blank_line(self, rng):
+        assert make_app_header("http-request", rng).endswith(b"\r\n\r\n")
+
+    def test_unknown_protocol_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            make_app_header("gopher", rng)
+
+    def test_random_header_varies(self):
+        names = {
+            random_app_header(np.random.default_rng(seed))[0] for seed in range(30)
+        }
+        assert len(names) >= 3
+
+    def test_signatures_unambiguous(self, rng):
+        # No generated header may match another protocol's signature.
+        for name in APP_PROTOCOLS:
+            header = make_app_header(name, rng)
+            matches = [
+                other
+                for other, prefixes in PROTOCOL_SIGNATURES.items()
+                if any(header.startswith(p) for p in prefixes)
+            ]
+            assert matches == [name]

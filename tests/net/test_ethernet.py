@@ -1,0 +1,81 @@
+"""Tests for Ethernet framing and Ethernet-link-type pcap files."""
+
+import struct
+
+import pytest
+
+from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
+from repro.net.packet import Ipv4Header, Packet, UdpHeader
+from repro.net.pcap import LINKTYPE_ETHERNET, read_pcap, write_pcap
+
+
+def _packet(payload=b"data", ts=1.5):
+    return Packet(
+        ip=Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=17),
+        transport=UdpHeader(src_port=1234, dst_port=80),
+        payload=payload,
+        timestamp=ts,
+    )
+
+
+class TestEthernetHeader:
+    def test_round_trip(self):
+        header = EthernetHeader(
+            dst="aa:bb:cc:dd:ee:ff", src="11:22:33:44:55:66",
+            ethertype=ETHERTYPE_IPV4,
+        )
+        assert EthernetHeader.from_bytes(header.to_bytes()) == header
+
+    def test_wire_length(self):
+        assert len(EthernetHeader().to_bytes()) == EthernetHeader.HEADER_LEN == 14
+
+    def test_is_ipv4(self):
+        assert EthernetHeader(ethertype=0x0800).is_ipv4
+        assert not EthernetHeader(ethertype=0x86DD).is_ipv4  # IPv6
+
+    def test_invalid_mac_rejected(self):
+        with pytest.raises(ValueError, match="invalid MAC"):
+            EthernetHeader(dst="not-a-mac").to_bytes()
+        with pytest.raises(ValueError, match="invalid MAC"):
+            EthernetHeader(src="zz:zz:zz:zz:zz:zz").to_bytes()
+
+    def test_invalid_ethertype_rejected(self):
+        with pytest.raises(ValueError, match="ethertype"):
+            EthernetHeader(ethertype=-1).to_bytes()
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError, match="14 bytes"):
+            EthernetHeader.from_bytes(b"\x00" * 10)
+
+
+class TestEthernetPcap:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "ether.pcap"
+        originals = [_packet(b"one", 1.0), _packet(b"two", 2.0)]
+        write_pcap(path, originals, linktype=LINKTYPE_ETHERNET)
+        loaded = read_pcap(path)
+        assert len(loaded) == 2
+        for original, parsed in zip(originals, loaded):
+            assert parsed.five_tuple == original.five_tuple
+            assert parsed.payload == original.payload
+
+    def test_linktype_written_in_header(self, tmp_path):
+        path = tmp_path / "ether.pcap"
+        write_pcap(path, [], linktype=LINKTYPE_ETHERNET)
+        linktype = struct.unpack("!I", path.read_bytes()[20:24])[0]
+        assert linktype == LINKTYPE_ETHERNET
+
+    def test_non_ipv4_frames_skipped(self, tmp_path):
+        path = tmp_path / "mixed.pcap"
+        write_pcap(path, [_packet()], linktype=LINKTYPE_ETHERNET)
+        # Append an ARP frame record by hand.
+        arp_frame = EthernetHeader(ethertype=0x0806).to_bytes() + b"\x00" * 28
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("!IIII", 9, 0, len(arp_frame), len(arp_frame)))
+            handle.write(arp_frame)
+        loaded = read_pcap(path)
+        assert len(loaded) == 1  # ARP skipped, IPv4 kept
+
+    def test_unsupported_write_linktype_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported link type"):
+            write_pcap(tmp_path / "x.pcap", [], linktype=113)

@@ -1,0 +1,33 @@
+"""Tests for SHA-1 flow identifiers."""
+
+import hashlib
+
+from repro.net.flow import FlowKey
+from repro.net.hashing import FLOW_HASH_BITS, flow_hash, packet_flow_hash
+from repro.net.packet import Ipv4Header, Packet, UdpHeader
+
+
+class TestFlowHash:
+    def test_160_bits(self):
+        key = FlowKey("10.0.0.1", 1, "10.0.0.2", 2, 6)
+        digest = flow_hash(key)
+        assert len(digest) * 8 == FLOW_HASH_BITS == 160
+
+    def test_is_sha1_of_canonical_bytes(self):
+        key = FlowKey("10.0.0.1", 1, "10.0.0.2", 2, 6)
+        assert flow_hash(key) == hashlib.sha1(key.to_bytes()).digest()
+
+    def test_deterministic(self):
+        key = FlowKey("1.2.3.4", 5, "6.7.8.9", 10, 17)
+        assert flow_hash(key) == flow_hash(key)
+
+    def test_direction_sensitive(self):
+        key = FlowKey("1.2.3.4", 5, "6.7.8.9", 10, 17)
+        assert flow_hash(key) != flow_hash(key.reversed())
+
+    def test_packet_flow_hash_matches_key_hash(self):
+        packet = Packet(
+            ip=Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=17),
+            transport=UdpHeader(src_port=1, dst_port=2),
+        )
+        assert packet_flow_hash(packet) == flow_hash(FlowKey.of_packet(packet))

@@ -1,0 +1,98 @@
+"""Tests for the pcap reader/writer."""
+
+import struct
+
+import pytest
+
+from repro.net.packet import Ipv4Header, Packet, TcpHeader, UdpHeader
+from repro.net.pcap import LINKTYPE_RAW, read_pcap, write_pcap
+
+
+def _packets():
+    return [
+        Packet(
+            ip=Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=6),
+            transport=TcpHeader(src_port=80, dst_port=5000, seq=1),
+            payload=b"GET / HTTP/1.1\r\n\r\n",
+            timestamp=1.000001,
+        ),
+        Packet(
+            ip=Ipv4Header(src="10.0.0.3", dst="10.0.0.4", protocol=17),
+            transport=UdpHeader(src_port=53, dst_port=3333),
+            payload=b"\x01\x02\x03",
+            timestamp=2.5,
+        ),
+    ]
+
+
+class TestRoundTrip:
+    def test_packets_survive(self, tmp_path):
+        path = tmp_path / "test.pcap"
+        write_pcap(path, _packets())
+        loaded = read_pcap(path)
+        assert len(loaded) == 2
+        for original, parsed in zip(_packets(), loaded):
+            assert parsed.five_tuple == original.five_tuple
+            assert parsed.payload == original.payload
+            assert parsed.timestamp == pytest.approx(original.timestamp, abs=1e-6)
+
+    def test_empty_file_round_trip(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, [])
+        assert read_pcap(path) == []
+
+    def test_global_header_fields(self, tmp_path):
+        path = tmp_path / "hdr.pcap"
+        write_pcap(path, [])
+        raw = path.read_bytes()
+        magic, vmaj, vmin = struct.unpack("!IHH", raw[:8])
+        linktype = struct.unpack("!I", raw[20:24])[0]
+        assert magic == 0xA1B2C3D4
+        assert (vmaj, vmin) == (2, 4)
+        assert linktype == LINKTYPE_RAW
+
+    def test_microsecond_rollover(self, tmp_path):
+        path = tmp_path / "roll.pcap"
+        packet = _packets()[0]
+        packet.timestamp = 0.9999996  # rounds to 1_000_000 us
+        write_pcap(path, [packet])
+        loaded = read_pcap(path)
+        assert loaded[0].timestamp == pytest.approx(1.0)
+
+
+class TestErrorHandling:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x0a\x0d\x0d\x0a" + b"\x00" * 20)  # pcapng magic
+        with pytest.raises(ValueError, match="unrecognized pcap magic"):
+            read_pcap(path)
+
+    def test_truncated_global_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xa1\xb2\xc3\xd4\x00")
+        with pytest.raises(ValueError, match="truncated pcap global"):
+            read_pcap(path)
+
+    def test_truncated_record_body(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, _packets()[:1])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-5])
+        with pytest.raises(ValueError, match="truncated pcap record body"):
+            read_pcap(path)
+
+    def test_wrong_linktype_rejected(self, tmp_path):
+        path = tmp_path / "sll.pcap"
+        header = struct.pack("!IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 113)
+        path.write_bytes(header)
+        with pytest.raises(ValueError, match="link type 113"):
+            read_pcap(path)
+
+    def test_swapped_byte_order_accepted(self, tmp_path):
+        path = tmp_path / "swap.pcap"
+        header = struct.pack("<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 101)
+        body = _packets()[0].to_bytes()
+        record = struct.pack("<IIII", 3, 500, len(body), len(body))
+        path.write_bytes(header + record + body)
+        loaded = read_pcap(path)
+        assert loaded[0].timestamp == pytest.approx(3.0005)

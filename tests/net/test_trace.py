@@ -1,0 +1,73 @@
+"""Tests for Trace statistics."""
+
+import pytest
+
+from repro.core.labels import TEXT
+from repro.net.flow import FlowKey
+from repro.net.packet import Ipv4Header, Packet, UdpHeader
+from repro.net.trace import Trace
+
+
+def _packet(ts, payload=b"x", sport=1):
+    return Packet(
+        ip=Ipv4Header(src="10.0.0.1", dst="10.0.0.2", protocol=17),
+        transport=UdpHeader(src_port=sport, dst_port=80),
+        payload=payload,
+        timestamp=ts,
+    )
+
+
+class TestTraceBasics:
+    def test_sorts_packets_on_construction(self):
+        trace = Trace(packets=[_packet(2.0), _packet(1.0), _packet(3.0)])
+        stamps = [p.timestamp for p in trace.packets]
+        assert stamps == sorted(stamps)
+
+    def test_duration_and_rate(self):
+        trace = Trace(packets=[_packet(0.0), _packet(1.0), _packet(4.0)])
+        assert trace.duration == 4.0
+        assert trace.packet_rate == pytest.approx(3 / 4)
+
+    def test_single_packet_edge_cases(self):
+        trace = Trace(packets=[_packet(1.0)])
+        assert trace.duration == 0.0
+        assert trace.packet_rate == 1.0
+
+    def test_data_packets_excludes_empty_payload(self):
+        trace = Trace(packets=[_packet(0.0, b""), _packet(1.0, b"abc")])
+        assert len(trace.data_packets()) == 1
+
+    def test_flow_keys_and_flows(self):
+        trace = Trace(packets=[_packet(0.0, sport=1), _packet(1.0, sport=2)])
+        assert len(trace.flow_keys()) == 2
+        assert len(trace.flows()) == 2
+
+
+class TestCdfs:
+    def test_payload_size_cdf(self):
+        trace = Trace(packets=[_packet(0.0, b"x" * n) for n in (10, 20, 30, 40)])
+        cdf = trace.payload_size_cdf()
+        assert cdf(25) == pytest.approx(0.5)
+
+    def test_inter_arrival_cdf(self):
+        trace = Trace(packets=[_packet(t) for t in (0.0, 0.1, 0.3, 0.6)])
+        cdf = trace.inter_arrival_cdf()
+        assert cdf(0.2) == pytest.approx(2 / 3)
+
+    def test_mean_inter_arrival(self):
+        trace = Trace(packets=[_packet(t) for t in (0.0, 1.0, 2.0)])
+        assert trace.mean_inter_arrival() == pytest.approx(1.0)
+
+    def test_empty_trace_cdfs_rejected(self):
+        with pytest.raises(ValueError, match="no data packets"):
+            Trace(packets=[_packet(0.0, b"")]).payload_size_cdf()
+        with pytest.raises(ValueError, match="at least 2"):
+            Trace(packets=[_packet(0.0)]).inter_arrival_cdf()
+
+
+class TestLabels:
+    def test_label_lookup(self):
+        key = FlowKey("10.0.0.1", 1, "10.0.0.2", 80, 17)
+        trace = Trace(packets=[_packet(0.0)], labels={key: TEXT})
+        assert trace.label_of(key) is TEXT
+        assert trace.label_of(key.reversed()) is None

@@ -1,0 +1,127 @@
+"""Tests for the synthetic gateway-trace generator: UMASS marginals."""
+
+import numpy as np
+import pytest
+
+from repro.core.labels import ALL_NATURES
+from repro.net.flow import assemble_flows
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_gateway_trace(
+        GatewayTraceConfig(n_flows=400, duration=60.0, seed=77)
+    )
+
+
+class TestMarginals:
+    def test_flow_count(self, trace):
+        assert len(trace.labels) == 400
+
+    def test_bimodal_payload_sizes(self, trace):
+        """Figure 9(a): >=20% at 1480 B, >50% under 140 B."""
+        sizes = np.array([len(p.payload) for p in trace.data_packets()])
+        at_mtu = np.mean(sizes == 1480)
+        small = np.mean(sizes <= 140)
+        assert at_mtu > 0.10
+        assert small > 0.45
+
+    def test_inter_arrivals_mostly_subsecond(self, trace):
+        """Figure 9(b): the inter-arrival CDF concentrates under 1 s."""
+        cdf = trace.inter_arrival_cdf()
+        assert cdf(1.0) > 0.9
+
+    def test_clean_close_fraction(self, trace):
+        """~46% of TCP flows end with FIN/RST (Figure 8's purging basis)."""
+        flows = assemble_flows(trace.packets)
+        tcp_flows = [f for f in flows.values() if f.key.protocol == PROTO_TCP]
+        closed = sum(f.saw_fin_or_rst for f in tcp_flows)
+        assert 0.3 < closed / len(tcp_flows) < 0.6
+
+    def test_tcp_udp_mix(self, trace):
+        protocols = {key.protocol for key in trace.labels}
+        assert protocols <= {PROTO_TCP, PROTO_UDP}
+        tcp = sum(key.protocol == PROTO_TCP for key in trace.labels)
+        assert 0.7 < tcp / len(trace.labels) < 0.9
+
+    def test_all_natures_present(self, trace):
+        assert set(trace.labels.values()) == set(ALL_NATURES)
+
+    def test_timestamps_sorted_within_duration_margin(self, trace):
+        stamps = [p.timestamp for p in trace.packets]
+        assert stamps == sorted(stamps)
+        assert stamps[0] >= 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        config = GatewayTraceConfig(n_flows=30, duration=10.0, seed=5)
+        a = generate_gateway_trace(config)
+        b = generate_gateway_trace(config)
+        assert len(a) == len(b)
+        assert all(
+            pa.payload == pb.payload and pa.timestamp == pb.timestamp
+            for pa, pb in zip(a.packets, b.packets)
+        )
+
+    def test_different_seed_differs(self):
+        a = generate_gateway_trace(GatewayTraceConfig(n_flows=30, seed=1))
+        b = generate_gateway_trace(GatewayTraceConfig(n_flows=30, seed=2))
+        assert {k.to_bytes() for k in a.labels} != {k.to_bytes() for k in b.labels}
+
+
+class TestContentGroundTruth:
+    def test_flow_payload_matches_label_statistics(self, trace):
+        from repro.core.entropy import kgram_entropy
+        from repro.core.labels import ENCRYPTED, TEXT
+
+        flows = assemble_flows(trace.packets)
+        h1_by_nature = {TEXT: [], ENCRYPTED: []}
+        for key, flow in flows.items():
+            nature = trace.labels.get(key)
+            if nature in h1_by_nature and len(flow.payload) > 1024:
+                h1_by_nature[nature].append(kgram_entropy(flow.payload, 1))
+        assert np.mean(h1_by_nature[TEXT]) < np.mean(h1_by_nature[ENCRYPTED])
+
+
+class TestAppHeaders:
+    def test_headers_present_when_enabled(self):
+        from repro.core.headers import detect_app_protocol
+
+        trace = generate_gateway_trace(
+            GatewayTraceConfig(n_flows=60, seed=9, app_header_probability=1.0)
+        )
+        flows = assemble_flows(trace.packets)
+        detected = sum(
+            detect_app_protocol(f.payload[:64]) is not None for f in flows.values()
+        )
+        assert detected == len(flows)
+
+    def test_headers_absent_when_disabled(self):
+        from repro.core.headers import detect_app_protocol
+
+        trace = generate_gateway_trace(
+            GatewayTraceConfig(n_flows=60, seed=9, app_header_probability=0.0)
+        )
+        flows = assemble_flows(trace.packets)
+        detected = sum(
+            detect_app_protocol(f.payload[:64]) is not None for f in flows.values()
+        )
+        # Text content can accidentally start with a signature; rare.
+        assert detected < len(flows) * 0.1
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError, match="n_flows"):
+            GatewayTraceConfig(n_flows=0)
+        with pytest.raises(ValueError, match="duration"):
+            GatewayTraceConfig(duration=-1.0)
+        with pytest.raises(ValueError, match="app_header_probability"):
+            GatewayTraceConfig(app_header_probability=2.0)
+        with pytest.raises(ValueError, match="clean_close_fraction"):
+            GatewayTraceConfig(clean_close_fraction=-0.5)
+        with pytest.raises(ValueError, match="min_content"):
+            GatewayTraceConfig(min_content=100, max_content=50)

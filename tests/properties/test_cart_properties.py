@@ -1,0 +1,67 @@
+"""Property-based tests for CART invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.tree.cart import DecisionTreeClassifier
+from repro.ml.tree.pruning import cost_complexity_path
+
+
+@st.composite
+def labelled_datasets(draw):
+    seed = draw(st.integers(0, 10_000))
+    n = draw(st.integers(10, 60))
+    n_features = draw(st.integers(1, 5))
+    n_classes = draw(st.integers(2, 3))
+    rng = np.random.default_rng(seed)
+    X = rng.random((n, n_features))
+    y = rng.integers(0, n_classes, n)
+    return X, y
+
+
+class TestCartInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(data=labelled_datasets())
+    def test_predictions_are_training_labels(self, data):
+        X, y = data
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert set(clf.predict(X).tolist()) <= set(np.unique(y).tolist())
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=labelled_datasets(), depth=st.integers(1, 6))
+    def test_depth_bound_respected(self, data, depth):
+        X, y = data
+        clf = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+        assert clf.depth <= depth
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=labelled_datasets())
+    def test_unbounded_tree_separates_distinct_rows(self, data):
+        X, y = data
+        # If all rows are distinct, an unbounded tree fits training exactly
+        # when labels are consistent per-row.
+        unique_rows, first_idx = np.unique(X, axis=0, return_index=True)
+        if unique_rows.shape[0] != X.shape[0]:
+            return
+        clf = DecisionTreeClassifier().fit(X, y)
+        assert clf.score(X, y) == 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=labelled_datasets())
+    def test_leaf_counts_partition_samples(self, data):
+        X, y = data
+        clf = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        leaf_total = sum(n.n_samples for n in clf.nodes() if n.is_leaf)
+        assert leaf_total == len(y)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=labelled_datasets())
+    def test_pruning_path_monotone(self, data):
+        X, y = data
+        clf = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        path = cost_complexity_path(clf)
+        sizes = [tree.node_count for _, tree in path]
+        assert sizes[-1] == 1
+        assert all(b < a for a, b in zip(sizes, sizes[1:]))

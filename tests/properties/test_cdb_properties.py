@@ -1,0 +1,95 @@
+"""Property-based tests for CDB invariants under random operation sequences."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cdb import RECORD_BITS, ClassificationDatabase
+from repro.core.labels import FlowNature
+
+flow_ids = st.integers(0, 49).map(
+    lambda n: hashlib.sha1(n.to_bytes(8, "big")).digest()
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), flow_ids, st.sampled_from(list(FlowNature))),
+        st.tuples(st.just("remove"), flow_ids, st.none()),
+        st.tuples(st.just("touch"), flow_ids, st.none()),
+        st.tuples(st.just("purge"), st.none(), st.none()),
+    ),
+    max_size=60,
+)
+
+
+class TestCdbInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(ops=operations)
+    def test_size_accounting_consistent(self, ops):
+        cdb = ClassificationDatabase(purge_trigger_flows=0)
+        shadow: dict[bytes, FlowNature] = {}
+        now = 0.0
+        for op, flow_id, label in ops:
+            now += 0.1
+            if op == "insert":
+                cdb.insert(flow_id, label, now)
+                shadow[flow_id] = label
+            elif op == "remove":
+                cdb.remove(flow_id)
+                shadow.pop(flow_id, None)
+            elif op == "touch":
+                if flow_id in cdb:
+                    cdb.touch(flow_id, now)
+            else:
+                removed = cdb.purge_inactive(now)
+                # Re-sync shadow: anything purged must actually be stale.
+                shadow = {k: v for k, v in shadow.items() if k in cdb}
+                assert removed >= 0
+            # Invariants after every op.
+            assert len(cdb) == len(shadow)
+            assert cdb.size_bits == len(cdb) * RECORD_BITS
+            for key, value in shadow.items():
+                assert cdb.lookup(key) is value
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=operations)
+    def test_counters_monotone(self, ops):
+        cdb = ClassificationDatabase(purge_trigger_flows=0)
+        now = 0.0
+        last = (0, 0, 0)
+        for op, flow_id, label in ops:
+            now += 0.1
+            if op == "insert":
+                cdb.insert(flow_id, label, now)
+            elif op == "remove":
+                cdb.remove(flow_id)
+            elif op == "touch" and flow_id in cdb:
+                cdb.touch(flow_id, now)
+            elif op == "purge":
+                cdb.purge_inactive(now)
+            current = (
+                cdb.total_inserted,
+                cdb.total_removed_fin,
+                cdb.total_removed_inactive,
+            )
+            assert all(c >= l for c, l in zip(current, last))
+            last = current
+
+    @settings(max_examples=30, deadline=None)
+    @given(ops=operations, n=st.floats(0.5, 10.0))
+    def test_purge_removes_only_stale(self, ops, n):
+        cdb = ClassificationDatabase(purge_coefficient=n, purge_trigger_flows=0)
+        now = 0.0
+        for op, flow_id, label in ops:
+            now += 0.1
+            if op == "insert":
+                cdb.insert(flow_id, label, now)
+        survivors_before = {
+            fid: rec
+            for fid, rec in cdb._records.items()
+            if not rec.is_obsolete(now + 5.0, n)
+        }
+        cdb.purge_inactive(now + 5.0)
+        assert set(cdb._records) == set(survivors_before)

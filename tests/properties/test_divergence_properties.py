@@ -1,0 +1,91 @@
+"""Property-based tests for divergence measures (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.divergence import (
+    jensen_shannon_divergence,
+    kl_divergence,
+    shannon_entropy,
+)
+
+weight_vectors = st.lists(
+    st.floats(min_value=1e-6, max_value=1e3, allow_nan=False),
+    min_size=2,
+    max_size=16,
+)
+
+
+def _pair(draw_length_matched):
+    return draw_length_matched
+
+
+paired_weights = st.integers(2, 12).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.floats(1e-6, 1e3), min_size=n, max_size=n),
+        st.lists(st.floats(1e-6, 1e3), min_size=n, max_size=n),
+    )
+)
+
+
+class TestEntropyProperties:
+    @given(p=weight_vectors)
+    def test_non_negative(self, p):
+        assert shannon_entropy(p) >= 0.0
+
+    @given(p=weight_vectors)
+    def test_bounded_by_log_support(self, p):
+        assert shannon_entropy(p) <= math.log(len(p)) + 1e-9
+
+    @given(p=weight_vectors, scale=st.floats(0.1, 100.0))
+    def test_scale_invariant(self, p, scale):
+        scaled = [w * scale for w in p]
+        assert shannon_entropy(p) == pytest.approx(shannon_entropy(scaled))
+
+
+class TestKlProperties:
+    @given(pq=paired_weights)
+    def test_non_negative(self, pq):
+        p, q = pq
+        assert kl_divergence(p, q) >= 0.0
+
+    @given(p=weight_vectors)
+    def test_self_divergence_zero(self, p):
+        assert kl_divergence(p, p) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestJsdProperties:
+    @given(pq=paired_weights)
+    def test_symmetry(self, pq):
+        p, q = pq
+        assert jensen_shannon_divergence(p, q) == pytest.approx(
+            jensen_shannon_divergence(q, p), abs=1e-9
+        )
+
+    @given(pq=paired_weights)
+    def test_bounded_unit_in_base2(self, pq):
+        p, q = pq
+        assert 0.0 <= jensen_shannon_divergence(p, q, base=2) <= 1.0 + 1e-9
+
+    @given(pq=paired_weights)
+    def test_sqrt_triangle_with_third(self, pq):
+        # sqrt(JSD) is a metric: check the triangle inequality against a
+        # uniform third distribution.
+        p, q = pq
+        m = [1.0] * len(p)
+        d_pq = math.sqrt(jensen_shannon_divergence(p, q, base=2))
+        d_pm = math.sqrt(jensen_shannon_divergence(p, m, base=2))
+        d_mq = math.sqrt(jensen_shannon_divergence(m, q, base=2))
+        assert d_pq <= d_pm + d_mq + 1e-9
+
+    @given(pq=paired_weights)
+    def test_bounded_by_kl_average(self, pq):
+        # JSD(P||Q) = (KLD(P||M) + KLD(Q||M))/2 <= (KLD(P||Q)+KLD(Q||P))/2.
+        p, q = pq
+        jsd = jensen_shannon_divergence(p, q)
+        kl_sym = (kl_divergence(p, q) + kl_divergence(q, p)) / 2
+        assert jsd <= kl_sym + 1e-9

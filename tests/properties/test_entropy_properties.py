@@ -1,0 +1,84 @@
+"""Property-based tests for entropy invariants (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy import (
+    entropy_from_counts,
+    kgram_count_values,
+    kgram_entropy,
+    max_normalized_entropy,
+)
+
+byte_blobs = st.binary(min_size=1, max_size=512)
+
+
+class TestEntropyBounds:
+    @given(data=byte_blobs, k=st.integers(1, 4))
+    def test_always_in_unit_interval(self, data, k):
+        if len(data) < k:
+            return
+        assert 0.0 <= kgram_entropy(data, k) <= 1.0
+
+    @given(data=byte_blobs, k=st.integers(1, 4))
+    def test_never_exceeds_structural_maximum(self, data, k):
+        if len(data) < k:
+            return
+        bound = max_normalized_entropy(len(data), k)
+        assert kgram_entropy(data, k) <= bound + 1e-12
+
+    @given(value=st.integers(0, 255), length=st.integers(2, 300), k=st.integers(1, 3))
+    def test_constant_data_zero(self, value, length, k):
+        assert kgram_entropy(bytes([value]) * length, k) == 0.0
+
+
+class TestEntropyInvariances:
+    @given(data=byte_blobs)
+    def test_invariant_under_byte_permutation_for_h1(self, data):
+        # h1 depends only on the byte histogram.
+        shuffled = bytes(sorted(data))
+        assert kgram_entropy(data, 1) == pytest.approx(kgram_entropy(shuffled, 1))
+
+    @given(data=byte_blobs)
+    def test_invariant_under_alphabet_relabeling(self, data):
+        # XOR with a constant permutes the alphabet: h1 unchanged.
+        relabeled = bytes(b ^ 0xA5 for b in data)
+        assert kgram_entropy(data, 1) == pytest.approx(kgram_entropy(relabeled, 1))
+
+    @given(data=st.binary(min_size=2, max_size=128), copies=st.integers(2, 5))
+    def test_counts_scale_with_repetition(self, data, copies):
+        single = kgram_count_values(data, 1)
+        repeated = kgram_count_values(data * copies, 1)
+        assert sorted((single * copies).tolist()) == sorted(repeated.tolist())
+
+
+class TestCountInvariants:
+    @given(data=byte_blobs, k=st.integers(1, 4))
+    def test_counts_sum_to_window_count(self, data, k):
+        if len(data) < k:
+            return
+        assert kgram_count_values(data, k).sum() == len(data) - k + 1
+
+    @given(counts=st.lists(st.integers(1, 1000), min_size=1, max_size=50),
+           k=st.integers(1, 4))
+    def test_entropy_from_counts_bounded(self, counts, k):
+        value = entropy_from_counts(counts, k)
+        assert 0.0 <= value <= 1.0
+
+    @given(counts=st.lists(st.integers(1, 1000), min_size=1, max_size=50))
+    def test_entropy_invariant_to_count_order(self, counts):
+        shuffled = list(reversed(counts))
+        assert entropy_from_counts(counts, 2) == pytest.approx(
+            entropy_from_counts(shuffled, 2)
+        )
+
+    @given(n=st.integers(2, 500))
+    def test_uniform_counts_maximal_for_given_support(self, n):
+        # For fixed support size s and total n*s, uniform counts maximize H.
+        uniform = entropy_from_counts([n] * 8, 1)
+        skewed = entropy_from_counts([n * 7, n // 2 + 1] + [1] * 6, 1)
+        assert uniform >= skewed

@@ -1,0 +1,86 @@
+"""Property-based tests for the (delta, epsilon) estimation budget math."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimation import EstimationBudget, estimate_hk
+from repro.core.features import PHI_CART_PRIME, PHI_SVM_PRIME, FeatureSet
+
+epsilons = st.floats(0.05, 2.0)
+deltas = st.floats(0.01, 0.99)
+buffers = st.integers(16, 4096)
+
+
+class TestBudgetProperties:
+    @given(epsilon=epsilons, delta=deltas, b=buffers)
+    def test_layout_positive(self, epsilon, delta, b):
+        budget = EstimationBudget(epsilon=epsilon, delta=delta, buffer_size=b)
+        assert budget.g >= 1
+        for k in (2, 3, 5, 9):
+            assert budget.z_for(k) >= 1
+            assert budget.counters_for(k) == budget.g * budget.z_for(k)
+
+    @given(delta=deltas, b=buffers)
+    def test_z_monotone_decreasing_in_epsilon(self, delta, b):
+        loose = EstimationBudget(epsilon=1.0, delta=delta, buffer_size=b)
+        tight = EstimationBudget(epsilon=0.1, delta=delta, buffer_size=b)
+        assert tight.z_for(2) >= loose.z_for(2)
+
+    @given(epsilon=epsilons, b=buffers)
+    def test_g_monotone_in_confidence(self, epsilon, b):
+        confident = EstimationBudget(epsilon=epsilon, delta=0.02, buffer_size=b)
+        sloppy = EstimationBudget(epsilon=epsilon, delta=0.9, buffer_size=b)
+        assert confident.g >= sloppy.g
+
+    @given(epsilon=epsilons, delta=deltas, b=buffers)
+    def test_z_decreasing_in_width(self, epsilon, delta, b):
+        # Wider k-grams have a larger alphabet: log_{|f_k|} b shrinks.
+        budget = EstimationBudget(epsilon=epsilon, delta=delta, buffer_size=b)
+        zs = [budget.z_for(k) for k in (2, 3, 5, 9)]
+        assert all(b_ <= a for a, b_ in zip(zs, zs[1:]))
+
+    @given(epsilon=epsilons, delta=deltas, b=buffers)
+    def test_total_counters_sums_estimable(self, epsilon, delta, b):
+        budget = EstimationBudget(epsilon=epsilon, delta=delta, buffer_size=b)
+        for features in (PHI_SVM_PRIME, PHI_CART_PRIME):
+            assert budget.total_counters(features) == sum(
+                budget.counters_for(k) for k in features.estimable_widths
+            )
+
+
+class TestMinEpsilonProperties:
+    @given(delta=deltas, b=st.integers(64, 4096), alpha=st.integers(100, 10_000))
+    def test_bound_is_break_even_continuous(self, delta, b, alpha):
+        # Formula (4) is derived in the continuous relaxation (no ceil on
+        # g or z): just above the bound, the *continuous* counter total
+        # must fit in alpha. (The implementation ceils, so its total can
+        # exceed alpha by the rounding factor — that is expected.)
+        import math
+
+        bound = PHI_SVM_PRIME.min_epsilon(b, delta=delta, alpha=alpha)
+        epsilon = bound * 1.01
+        continuous_total = sum(
+            (32.0 * math.log(b) / (8.0 * k * math.log(2)) / epsilon**2)
+            * (2.0 * math.log2(1.0 / delta))
+            for k in PHI_SVM_PRIME.estimable_widths
+        )
+        assert continuous_total <= alpha * 1.01
+
+    @given(delta=deltas, b=st.integers(64, 4096))
+    def test_bound_decreasing_in_alpha(self, delta, b):
+        loose = PHI_SVM_PRIME.min_epsilon(b, delta=delta, alpha=10_000)
+        tight = PHI_SVM_PRIME.min_epsilon(b, delta=delta, alpha=500)
+        assert loose <= tight
+
+
+class TestEstimatorProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000), k=st.integers(2, 4))
+    def test_estimates_bounded(self, seed, k):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, 512, dtype=np.int64).astype(np.uint8).tobytes()
+        budget = EstimationBudget(epsilon=0.5, delta=0.5, buffer_size=512)
+        value = estimate_hk(data, k, budget, np.random.default_rng(seed + 1))
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,85 @@
+"""Property-based round-trip tests for the wire formats (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.flow import FlowKey
+from repro.net.hashing import flow_hash
+from repro.net.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    Ipv4Header,
+    Packet,
+    TcpHeader,
+    UdpHeader,
+    internet_checksum,
+)
+
+ip_addresses = st.tuples(
+    st.integers(0, 255), st.integers(0, 255), st.integers(0, 255), st.integers(0, 255)
+).map(lambda t: ".".join(map(str, t)))
+
+ports = st.integers(0, 65535)
+
+
+class TestHeaderRoundTrips:
+    @given(src=ip_addresses, dst=ip_addresses, proto=st.sampled_from([6, 17]),
+           ident=st.integers(0, 65535), ttl=st.integers(1, 255))
+    def test_ipv4_round_trip(self, src, dst, proto, ident, ttl):
+        header = Ipv4Header(src=src, dst=dst, protocol=proto,
+                            total_length=40, identification=ident, ttl=ttl)
+        assert Ipv4Header.from_bytes(header.to_bytes()) == header
+
+    @given(src=ip_addresses, dst=ip_addresses)
+    def test_ipv4_checksum_validates(self, src, dst):
+        raw = Ipv4Header(src=src, dst=dst, protocol=6, total_length=40).to_bytes()
+        assert internet_checksum(raw) == 0
+
+    @given(sport=ports, dport=ports, seq=st.integers(0, 2**32 - 1),
+           ack=st.integers(0, 2**32 - 1), flags=st.integers(0, 63),
+           window=st.integers(0, 65535))
+    def test_tcp_round_trip(self, sport, dport, seq, ack, flags, window):
+        header = TcpHeader(src_port=sport, dst_port=dport, seq=seq, ack=ack,
+                           flags=flags, window=window)
+        assert TcpHeader.from_bytes(header.to_bytes()) == header
+
+    @given(sport=ports, dport=ports, length=st.integers(8, 65535))
+    def test_udp_round_trip(self, sport, dport, length):
+        header = UdpHeader(src_port=sport, dst_port=dport, length=length)
+        assert UdpHeader.from_bytes(header.to_bytes()) == header
+
+
+class TestPacketRoundTrips:
+    @given(src=ip_addresses, dst=ip_addresses, sport=ports, dport=ports,
+           payload=st.binary(max_size=1480),
+           proto=st.sampled_from([PROTO_TCP, PROTO_UDP]))
+    def test_packet_round_trip(self, src, dst, sport, dport, payload, proto):
+        if proto == PROTO_TCP:
+            transport = TcpHeader(src_port=sport, dst_port=dport)
+        else:
+            transport = UdpHeader(src_port=sport, dst_port=dport)
+        packet = Packet(
+            ip=Ipv4Header(src=src, dst=dst, protocol=proto),
+            transport=transport,
+            payload=payload,
+        )
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.five_tuple == packet.five_tuple
+        assert parsed.payload == payload
+
+
+class TestFlowHashProperties:
+    @given(src=ip_addresses, dst=ip_addresses, sport=ports, dport=ports,
+           proto=st.sampled_from([6, 17]))
+    def test_hash_deterministic_and_160_bits(self, src, dst, sport, dport, proto):
+        key = FlowKey(src, sport, dst, dport, proto)
+        assert flow_hash(key) == flow_hash(key)
+        assert len(flow_hash(key)) == 20
+
+    @given(src=ip_addresses, dst=ip_addresses, sport=ports, dport=ports)
+    def test_protocol_distinguishes_flows(self, src, dst, sport, dport):
+        tcp = FlowKey(src, sport, dst, dport, 6)
+        udp = FlowKey(src, sport, dst, dport, 17)
+        assert flow_hash(tcp) != flow_hash(udp)

@@ -1,0 +1,58 @@
+"""Property-based tests for the SMO solver: KKT on random problems."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.svm.kernels import RbfKernel
+from repro.ml.svm.smo import solve_smo
+
+
+@st.composite
+def svm_problems(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_per_class = draw(st.integers(4, 15))
+    gap = draw(st.floats(0.2, 3.0))
+    c_value = draw(st.sampled_from([0.5, 5.0, 100.0]))
+    gamma = draw(st.sampled_from([0.5, 5.0, 50.0]))
+    rng = np.random.default_rng(seed)
+    X = np.vstack([
+        rng.normal(0.0, 0.5, (n_per_class, 3)),
+        rng.normal(gap, 0.5, (n_per_class, 3)),
+    ])
+    y = np.concatenate([-np.ones(n_per_class), np.ones(n_per_class)])
+    return X, y, c_value, gamma
+
+
+class TestSmoKktProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(problem=svm_problems())
+    def test_constraints_and_kkt(self, problem):
+        X, y, c_value, gamma = problem
+        K = RbfKernel(gamma=gamma)(X, X)
+        result = solve_smo(K, y, C=c_value, tol=1e-4)
+
+        # Box constraints.
+        assert result.alpha.min() >= -1e-12
+        assert result.alpha.max() <= c_value + 1e-12
+        # Equality constraint.
+        assert abs((result.alpha * y).sum()) < 1e-6
+        # Converged: KKT gap closed.
+        assert result.converged
+        f = K @ (result.alpha * y) + result.bias
+        margins = y * f
+        interior = (result.alpha > 1e-7) & (result.alpha < c_value - 1e-7)
+        if interior.any():
+            assert np.abs(margins[interior] - 1.0).max() < 5e-3
+
+    @settings(max_examples=15, deadline=None)
+    @given(problem=svm_problems())
+    def test_objective_no_worse_than_zero(self, problem):
+        # alpha = 0 is feasible with objective 0; the optimum must improve it.
+        X, y, c_value, gamma = problem
+        K = RbfKernel(gamma=gamma)(X, X)
+        result = solve_smo(K, y, C=c_value, tol=1e-4)
+        Q = (y[:, None] * y[None, :]) * K
+        objective = 0.5 * result.alpha @ Q @ result.alpha - result.alpha.sum()
+        assert objective <= 1e-9

@@ -1,0 +1,75 @@
+"""Property-based tests for the gateway-trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.flow import assemble_flows
+from repro.net.packet import PROTO_TCP, PROTO_UDP
+from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
+
+
+@st.composite
+def trace_configs(draw):
+    return GatewayTraceConfig(
+        n_flows=draw(st.integers(1, 25)),
+        duration=draw(st.floats(1.0, 30.0)),
+        seed=draw(st.integers(0, 10_000)),
+        tcp_fraction=draw(st.floats(0.0, 1.0)),
+        clean_close_fraction=draw(st.floats(0.0, 1.0)),
+        app_header_probability=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        min_content=draw(st.integers(64, 256)),
+        max_content=draw(st.integers(256, 2048)),
+    )
+
+
+class TestTraceInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(config=trace_configs())
+    def test_every_flow_labelled_and_present(self, config):
+        trace = generate_gateway_trace(config)
+        assert len(trace.labels) == config.n_flows
+        flows = assemble_flows(trace.packets)
+        assert set(flows) == set(trace.labels)
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=trace_configs())
+    def test_timestamps_sorted_and_nonnegative(self, config):
+        trace = generate_gateway_trace(config)
+        stamps = [p.timestamp for p in trace.packets]
+        assert stamps == sorted(stamps)
+        assert all(t >= 0 for t in stamps)
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=trace_configs())
+    def test_payload_sizes_within_mtu(self, config):
+        trace = generate_gateway_trace(config)
+        assert all(len(p.payload) <= 1480 for p in trace.packets)
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=trace_configs())
+    def test_flow_content_at_least_min(self, config):
+        trace = generate_gateway_trace(config)
+        flows = assemble_flows(trace.packets)
+        for key, flow in flows.items():
+            # App headers/padding only add bytes; content >= min_content.
+            assert len(flow.payload) >= config.min_content
+
+    @settings(max_examples=25, deadline=None)
+    @given(config=trace_configs())
+    def test_protocols_match_keys(self, config):
+        trace = generate_gateway_trace(config)
+        for packet in trace.packets:
+            assert packet.ip.protocol in (PROTO_TCP, PROTO_UDP)
+            assert packet.is_tcp == (packet.ip.protocol == PROTO_TCP)
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=trace_configs())
+    def test_deterministic(self, config):
+        a = generate_gateway_trace(config)
+        b = generate_gateway_trace(config)
+        assert len(a) == len(b)
+        assert all(
+            pa.payload == pb.payload for pa, pb in zip(a.packets, b.packets)
+        )

@@ -1,0 +1,104 @@
+"""Tests for AMS frequency-moment estimation."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.ams import (
+    TugOfWarSketch,
+    ams_f2_estimate,
+    ams_fp_estimate,
+    exact_fp,
+)
+
+
+@pytest.fixture(scope="module")
+def skewed_stream():
+    rng = np.random.default_rng(11)
+    return rng.choice(20, 600, p=np.r_[0.4, np.full(19, 0.6 / 19)]).tolist()
+
+
+class TestExactFp:
+    def test_f0_is_distinct_count(self):
+        assert exact_fp([1, 1, 2, 3], 0) == 3
+
+    def test_f1_is_length(self, skewed_stream):
+        assert exact_fp(skewed_stream, 1) == len(skewed_stream)
+
+    def test_f2_known(self):
+        assert exact_fp([1, 1, 2], 2) == 4 + 1
+
+    def test_negative_p_rejected(self):
+        with pytest.raises(ValueError, match="p must be"):
+            exact_fp([1], -1)
+
+
+class TestSamplingEstimator:
+    def test_f1_exact(self, skewed_stream):
+        estimate = ams_fp_estimate(
+            skewed_stream, 1, groups=2, per_group=8, rng=np.random.default_rng(0)
+        )
+        # F1 estimator is n * (c - (c-1)) = n always.
+        assert estimate == len(skewed_stream)
+
+    def test_f2_unbiased(self, skewed_stream):
+        exact = exact_fp(skewed_stream, 2)
+        estimates = [
+            ams_fp_estimate(skewed_stream, 2, groups=3, per_group=40,
+                            rng=np.random.default_rng(seed))
+            for seed in range(15)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.2)
+
+    def test_p_below_one_rejected(self, skewed_stream):
+        with pytest.raises(ValueError, match="p >= 1"):
+            ams_fp_estimate(skewed_stream, 0.5, 1, 1, np.random.default_rng(0))
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ams_fp_estimate([], 2, 1, 1, np.random.default_rng(0))
+
+
+class TestTugOfWar:
+    def test_f2_estimate_close(self, skewed_stream):
+        exact = exact_fp(skewed_stream, 2)
+        estimate = ams_f2_estimate(skewed_stream, groups=5, per_group=30, seed=3)
+        assert estimate == pytest.approx(exact, rel=0.3)
+
+    def test_deterministic_given_seed(self, skewed_stream):
+        a = ams_f2_estimate(skewed_stream, 3, 10, seed=1)
+        b = ams_f2_estimate(skewed_stream, 3, 10, seed=1)
+        assert a == b
+
+    def test_mergeable(self, skewed_stream):
+        half = len(skewed_stream) // 2
+        left = TugOfWarSketch(3, 10, seed=2)
+        right = TugOfWarSketch(3, 10, seed=2)
+        whole = TugOfWarSketch(3, 10, seed=2)
+        for element in skewed_stream[:half]:
+            left.update(element)
+            whole.update(element)
+        for element in skewed_stream[half:]:
+            right.update(element)
+            whole.update(element)
+        assert left.merge(right).estimate() == whole.estimate()
+
+    def test_merge_layout_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="identical layout"):
+            TugOfWarSketch(2, 4, seed=0).merge(TugOfWarSketch(2, 4, seed=1))
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            TugOfWarSketch(0, 4)
+
+
+class TestCrossValidation:
+    def test_sampling_and_sketching_agree_on_f2(self, skewed_stream):
+        # Two independent estimator families should bracket the same truth.
+        exact = exact_fp(skewed_stream, 2)
+        sampled = np.mean([
+            ams_fp_estimate(skewed_stream, 2, 3, 40, np.random.default_rng(s))
+            for s in range(10)
+        ])
+        sketched = ams_f2_estimate(skewed_stream, 5, 40, seed=7)
+        assert sampled == pytest.approx(exact, rel=0.2)
+        assert sketched == pytest.approx(exact, rel=0.2)

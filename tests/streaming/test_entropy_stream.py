@@ -1,0 +1,141 @@
+"""Tests for the Lall et al. stream entropy estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.entropy import kgram_count_values
+from repro.streaming.entropy_stream import (
+    StreamEntropyEstimator,
+    encode_kgram_stream,
+    estimate_s_from_stream,
+    estimate_stream_entropy,
+)
+
+
+def _exact_s(data: bytes, k: int) -> float:
+    counts = kgram_count_values(data, k).astype(float)
+    return float((counts * np.log(counts)).sum())
+
+
+class TestEncodeKgramStream:
+    def test_small_k_uses_uint64(self):
+        codes = encode_kgram_stream(b"abcdef", 3)
+        assert codes.dtype == np.uint64
+        assert codes.size == 4
+
+    def test_large_k_uses_void(self):
+        codes = encode_kgram_stream(bytes(range(16)), 9)
+        assert codes.dtype == np.dtype((np.void, 9))
+
+    def test_equal_grams_equal_codes(self):
+        codes = encode_kgram_stream(b"abab", 2)
+        assert codes[0] == codes[2]
+        assert codes[0] != codes[1]
+
+    def test_short_data_rejected(self):
+        with pytest.raises(ValueError, match="at least"):
+            encode_kgram_stream(b"ab", 3)
+
+
+class TestEstimateS:
+    def test_unbiased_on_average(self, sample_files):
+        data = sample_files["text"][:1024]
+        exact = _exact_s(data, 2)
+        estimates = [
+            estimate_s_from_stream(data, 2, groups=3, per_group=64,
+                                   rng=np.random.default_rng(seed))
+            for seed in range(20)
+        ]
+        assert np.mean(estimates) == pytest.approx(exact, rel=0.15)
+
+    def test_constant_stream_unbiased(self):
+        # Every 2-gram identical: S = N ln N. A sample at position j sees
+        # c = N - j, so individual estimates vary; the mean must not.
+        data = b"\x07" * 100
+        n = 99
+        estimates = [
+            estimate_s_from_stream(data, 2, groups=2, per_group=8,
+                                   rng=np.random.default_rng(seed))
+            for seed in range(30)
+        ]
+        assert np.mean(estimates) == pytest.approx(n * math.log(n), rel=0.05)
+
+    def test_all_distinct_stream_zero(self):
+        data = bytes(range(64))
+        estimate = estimate_s_from_stream(
+            data, 1, groups=2, per_group=8, rng=np.random.default_rng(0)
+        )
+        assert estimate == pytest.approx(0.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            estimate_s_from_stream(b"abcd", 2, groups=0, per_group=4,
+                                   rng=np.random.default_rng(0))
+
+
+class TestEstimateStreamEntropy:
+    def test_matches_exact_for_uniform(self, rng):
+        data = rng.integers(0, 256, 2048, dtype=np.int64).astype(np.uint8).tobytes()
+        estimate = estimate_stream_entropy(
+            data, 1, groups=3, per_group=128, rng=np.random.default_rng(1), base=256.0
+        )
+        assert estimate == pytest.approx(1.0, abs=0.05)
+
+    def test_base_conversion(self, sample_files):
+        data = sample_files["text"][:512]
+        nats = estimate_stream_entropy(
+            data, 2, groups=2, per_group=64, rng=np.random.default_rng(2)
+        )
+        bits = estimate_stream_entropy(
+            data, 2, groups=2, per_group=64, rng=np.random.default_rng(2), base=2.0
+        )
+        assert bits == pytest.approx(nats / math.log(2))
+
+
+class TestOnePassEstimator:
+    def test_memory_is_fixed(self):
+        estimator = StreamEntropyEstimator(groups=2, per_group=10)
+        assert estimator.num_counters == 20
+        for element in range(1000):
+            estimator.update(element % 7)
+        assert estimator.num_counters == 20
+        assert estimator.n == 1000
+
+    def test_estimates_known_entropy(self):
+        # Uniform over 4 symbols: H = ln 4. Average a few independent
+        # estimators: one run's median-of-means still carries sampling noise.
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 4, 3000).tolist()
+        estimates = []
+        for seed in range(5):
+            estimator = StreamEntropyEstimator(
+                groups=3, per_group=100, rng=np.random.default_rng(seed)
+            )
+            estimator.consume(stream)
+            estimates.append(estimator.estimate_entropy())
+        assert np.mean(estimates) == pytest.approx(math.log(4), abs=0.1)
+
+    def test_skewed_stream_lower_entropy(self):
+        rng = np.random.default_rng(5)
+        skewed = StreamEntropyEstimator(groups=3, per_group=60,
+                                        rng=np.random.default_rng(6))
+        skewed.consume(rng.choice(4, 3000, p=[0.9, 0.05, 0.03, 0.02]).tolist())
+        assert skewed.estimate_entropy() < math.log(4) * 0.7
+
+    def test_empty_stream_rejected(self):
+        estimator = StreamEntropyEstimator(groups=1, per_group=4)
+        with pytest.raises(ValueError, match="no stream"):
+            estimator.estimate_s()
+
+    def test_agrees_with_offline_estimator(self, sample_files):
+        data = sample_files["text"][:512]
+        offline = estimate_stream_entropy(
+            data, 1, groups=3, per_group=64, rng=np.random.default_rng(7)
+        )
+        online = StreamEntropyEstimator(
+            groups=3, per_group=64, rng=np.random.default_rng(8)
+        )
+        online.consume(list(data))
+        assert online.estimate_entropy() == pytest.approx(offline, abs=0.2)

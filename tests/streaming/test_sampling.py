@@ -1,0 +1,60 @@
+"""Tests for position and reservoir sampling."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.sampling import ReservoirSampler, sample_positions
+
+
+class TestSamplePositions:
+    def test_within_range(self, rng):
+        positions = sample_positions(100, 50, rng)
+        assert positions.min() >= 0
+        assert positions.max() < 100
+        assert positions.size == 50
+
+    def test_with_replacement(self, rng):
+        # More samples than the range forces repeats.
+        positions = sample_positions(3, 100, rng)
+        assert len(set(positions.tolist())) <= 3
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="n must be"):
+            sample_positions(0, 1, rng)
+        with pytest.raises(ValueError, match="count"):
+            sample_positions(10, 0, rng)
+
+
+class TestReservoirSampler:
+    def test_keeps_everything_until_full(self, rng):
+        sampler = ReservoirSampler(5, rng=rng)
+        sampler.consume(range(3))
+        assert sorted(sampler.sample) == [0, 1, 2]
+
+    def test_fixed_size_after_overflow(self, rng):
+        sampler = ReservoirSampler(5, rng=rng)
+        sampler.consume(range(1000))
+        assert len(sampler.sample) == 5
+        assert sampler.seen == 1000
+
+    def test_uniformity(self):
+        # Element 0 should appear in ~k/n of reservoirs.
+        hits = 0
+        trials = 400
+        for seed in range(trials):
+            sampler = ReservoirSampler(5, rng=np.random.default_rng(seed))
+            sampler.consume(range(50))
+            hits += 0 in sampler.sample
+        expected = 5 / 50
+        assert hits / trials == pytest.approx(expected, abs=0.05)
+
+    def test_sample_returns_copy(self, rng):
+        sampler = ReservoirSampler(2, rng=rng)
+        sampler.consume([1, 2])
+        snapshot = sampler.sample
+        snapshot.append(99)
+        assert len(sampler.sample) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            ReservoirSampler(0)

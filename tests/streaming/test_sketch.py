@@ -1,0 +1,48 @@
+"""Tests for median-of-means reduction."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.sketch import group_counters, median_of_means
+
+
+class TestGroupCounters:
+    def test_reshapes_correctly(self):
+        grouped = group_counters(np.arange(12), 3)
+        assert grouped.shape == (3, 4)
+        assert grouped[1].tolist() == [4, 5, 6, 7]
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError, match="equal groups"):
+            group_counters(np.arange(10), 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="equal groups"):
+            group_counters(np.array([]), 2)
+
+    def test_groups_validation(self):
+        with pytest.raises(ValueError, match="groups"):
+            group_counters(np.arange(4), 0)
+
+
+class TestMedianOfMeans:
+    def test_single_group_is_plain_mean(self):
+        assert median_of_means(np.array([1.0, 2.0, 3.0, 4.0]), 1) == 2.5
+
+    def test_one_per_group_is_median(self):
+        assert median_of_means(np.array([1.0, 100.0, 3.0]), 3) == 3.0
+
+    def test_robust_to_outlier_group(self):
+        # One group poisoned with a huge value: the median ignores it.
+        estimates = np.array([10.0, 10.0, 10.0, 10.0, 1e9, 10.0])
+        assert median_of_means(estimates, 3) == pytest.approx(10.0)
+
+    def test_concentrates_with_more_samples(self, rng):
+        true_mean = 5.0
+        small = [
+            median_of_means(rng.exponential(true_mean, 8), 2) for _ in range(200)
+        ]
+        large = [
+            median_of_means(rng.exponential(true_mean, 512), 2) for _ in range(200)
+        ]
+        assert np.std(large) < np.std(small)
