@@ -1,0 +1,83 @@
+"""Hot-path perf: scalar vs batched extraction and inference.
+
+The paper's headline claim is speed — classification delay around 10% of
+the mean packet inter-arrival time — so the extract→classify path must be
+batch-vectorized. This bench times every scalar/batched pair on the
+synthetic corpus generators, asserts the batched outputs are equivalent,
+writes the ``BENCH_hot_path.json`` perf record, and enforces the floor
+speedups (5x batched full-vector extraction over 256 x 1 KiB buffers, 10x
+batched CART prediction over 10k rows).
+"""
+
+import json
+
+import numpy as np
+
+from run_perf import (
+    DEFAULT_OUT,
+    SEED,
+    bench_cart_predict,
+    bench_dagsvm_predict,
+    bench_end_to_end,
+    bench_extraction,
+    collect_results,
+    synthetic_buffers,
+)
+from repro.core.entropy_vector import entropy_vector, entropy_vectors_batch
+from repro.core.features import FULL_FEATURES
+
+
+def test_extraction_scalar_vs_batched(benchmark):
+    buffers = synthetic_buffers(256, 1024, SEED)
+    scalar = np.stack(
+        [entropy_vector(b, FULL_FEATURES).values for b in buffers]
+    )
+    batched = benchmark(entropy_vectors_batch, buffers, FULL_FEATURES)
+    assert np.abs(scalar - batched).max() <= 1e-12
+
+
+def test_hot_path_speedups_and_record(capsys):
+    results = collect_results(repeat=3, seed=SEED)
+    DEFAULT_OUT.write_text(json.dumps(results, indent=2) + "\n")
+    with capsys.disabled():
+        print()
+        for name in (
+            "extraction",
+            "cart_predict",
+            "dagsvm_predict",
+            "end_to_end_classify",
+        ):
+            entry = results[name]
+            print(
+                f"{name}: scalar {entry['scalar_s']:.4f}s, batched "
+                f"{entry['batch_s']:.4f}s, speedup {entry['speedup']:.1f}x"
+            )
+        print(f"wrote {DEFAULT_OUT}")
+    assert results["extraction"]["max_abs_diff"] <= 1e-12
+    assert results["extraction"]["speedup"] >= 5.0
+    assert results["cart_predict"]["speedup"] >= 10.0
+    assert results["dagsvm_predict"]["speedup"] >= 1.0
+    assert results["end_to_end_classify"]["speedup"] >= 1.0
+
+
+def test_cart_compiled_vs_nodewalk(benchmark):
+    entry = bench_cart_predict(10_000, repeat=1, seed=SEED)
+    assert entry["speedup"] >= 10.0
+    rng = np.random.default_rng(SEED)
+    from repro.ml.tree.cart import DecisionTreeClassifier
+
+    X_train = rng.random((1500, 4))
+    y_train = rng.integers(0, 3, 1500)
+    clf = DecisionTreeClassifier().fit(X_train, y_train)
+    X = rng.random((10_000, 4))
+    benchmark(clf.predict, X)
+
+
+def test_dagsvm_batched():
+    entry = bench_dagsvm_predict(2_000, repeat=1, seed=SEED)
+    assert entry["speedup"] >= 1.0
+
+
+def test_end_to_end_batched():
+    entry = bench_end_to_end(512, per_class=30, repeat=1, seed=SEED)
+    assert entry["speedup"] >= 1.0

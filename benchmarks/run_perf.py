@@ -1,0 +1,277 @@
+"""Deterministic hot-path perf runner: scalar vs batched extraction/inference.
+
+Measures the four batched hot paths against their scalar counterparts on
+the synthetic corpus generators and writes ``BENCH_hot_path.json``:
+
+* full-vector entropy extraction  — ``entropy_vector`` per buffer vs
+  ``entropy_vectors_batch`` over the whole batch;
+* CART prediction                 — per-row node walk vs the compiled
+  flat-array ``predict``;
+* DAGSVM prediction               — per-sample DDAG walk vs the batched
+  per-level descent;
+* end-to-end classification      — ``classify_buffer`` per flow buffer vs
+  one ``classify_buffers`` call.
+
+Every speedup is validated for output equivalence before it is timed.
+Seeds are fixed; only the wall-clock numbers vary between machines.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/run_perf.py [--tiny] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.classifier import IustitiaClassifier
+from repro.core.entropy_vector import entropy_vector, entropy_vectors_batch
+from repro.core.features import FULL_FEATURES
+from repro.core.labels import BINARY, ENCRYPTED, TEXT
+from repro.data.binarygen import generate_binary_file
+from repro.data.cryptogen import generate_encrypted_file
+from repro.data.textgen import generate_text_file
+from repro.ml.svm.dagsvm import DagSvmClassifier
+from repro.ml.svm.kernels import RbfKernel
+from repro.ml.tree.cart import DecisionTreeClassifier
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_hot_path.json"
+SEED = 2009
+
+_NATURE_GENERATORS = (
+    (TEXT, generate_text_file),
+    (BINARY, generate_binary_file),
+    (ENCRYPTED, generate_encrypted_file),
+)
+
+
+def synthetic_buffers(n: int, size: int, seed: int) -> "list[bytes]":
+    """``n`` buffers of ``size`` bytes cycling through the three natures."""
+    rng = np.random.default_rng(seed)
+    return [
+        _NATURE_GENERATORS[i % 3][1](size, rng)[:size] for i in range(n)
+    ]
+
+
+def labelled_training_files(
+    per_class: int, size: int, seed: int
+) -> "tuple[list[bytes], list[int]]":
+    """A tiny labelled corpus for training the end-to-end classifier."""
+    rng = np.random.default_rng(seed)
+    files: "list[bytes]" = []
+    labels: "list[int]" = []
+    for nature, generator in _NATURE_GENERATORS:
+        for _ in range(per_class):
+            files.append(generator(size, rng))
+            labels.append(int(nature))
+    return files, labels
+
+
+def _best_of(fn, repeat: int) -> float:
+    """Best wall-clock seconds of ``repeat`` runs of ``fn``."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_extraction(
+    n_buffers: int, buffer_bytes: int, repeat: int, seed: int
+) -> dict:
+    """Scalar vs batched full-vector (h1..h10) extraction."""
+    buffers = synthetic_buffers(n_buffers, buffer_bytes, seed)
+
+    def scalar() -> np.ndarray:
+        return np.stack(
+            [entropy_vector(b, FULL_FEATURES).values for b in buffers]
+        )
+
+    def batched() -> np.ndarray:
+        return entropy_vectors_batch(buffers, FULL_FEATURES)
+
+    max_abs_diff = float(np.abs(scalar() - batched()).max())
+    if max_abs_diff > 1e-12:
+        raise AssertionError(f"batch extraction diverged: {max_abs_diff}")
+    scalar_s = _best_of(scalar, repeat)
+    batch_s = _best_of(batched, repeat)
+    return {
+        "n_buffers": n_buffers,
+        "buffer_bytes": buffer_bytes,
+        "features": list(FULL_FEATURES.widths),
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_vectors_per_s": n_buffers / scalar_s,
+        "batch_vectors_per_s": n_buffers / batch_s,
+        "speedup": scalar_s / batch_s,
+        "max_abs_diff": max_abs_diff,
+    }
+
+
+def _three_class_blobs(
+    n: int, n_features: int, rng: np.random.Generator
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Entropy-vector-like clustered samples in [0, 1] with 3 classes."""
+    centers = rng.random((3, n_features))
+    y = rng.integers(0, 3, n)
+    X = np.clip(centers[y] + rng.normal(0.0, 0.08, (n, n_features)), 0.0, 1.0)
+    return X, y
+
+
+def bench_cart_predict(n_rows: int, repeat: int, seed: int) -> dict:
+    """Per-row node-walk vs compiled array CART prediction."""
+    rng = np.random.default_rng(seed)
+    X_train, y_train = _three_class_blobs(1500, 4, rng)
+    clf = DecisionTreeClassifier().fit(X_train, y_train)
+    X = np.clip(rng.random((n_rows, 4)), 0.0, 1.0)
+    if not np.array_equal(clf.predict(X), clf.predict_nodewalk(X)):
+        raise AssertionError("compiled CART prediction diverged")
+    scalar_s = _best_of(lambda: clf.predict_nodewalk(X), repeat)
+    batch_s = _best_of(lambda: clf.predict(X), repeat)
+    return {
+        "n_rows": n_rows,
+        "tree_nodes": clf.node_count,
+        "tree_depth": clf.depth,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_rows_per_s": n_rows / scalar_s,
+        "batch_rows_per_s": n_rows / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def bench_dagsvm_predict(n_rows: int, repeat: int, seed: int) -> dict:
+    """Per-sample DDAG walk vs batched per-level DAGSVM prediction."""
+    rng = np.random.default_rng(seed)
+    X_train, y_train = _three_class_blobs(90, 4, rng)
+    clf = DagSvmClassifier(C=1000.0, kernel=RbfKernel(gamma=50.0))
+    clf.fit(X_train, y_train)
+    X, _ = _three_class_blobs(n_rows, 4, rng)
+    if not np.array_equal(clf.predict(X), clf.predict_scalar(X)):
+        raise AssertionError("batched DAGSVM prediction diverged")
+    scalar_s = _best_of(lambda: clf.predict_scalar(X), repeat)
+    batch_s = _best_of(lambda: clf.predict(X), repeat)
+    return {
+        "n_rows": n_rows,
+        "support_vectors": clf.total_support_vectors_,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_rows_per_s": n_rows / scalar_s,
+        "batch_rows_per_s": n_rows / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def bench_end_to_end(
+    n_buffers: int, per_class: int, repeat: int, seed: int, model: str = "svm"
+) -> dict:
+    """``classify_buffer`` per flow vs one ``classify_buffers`` call."""
+    files, labels = labelled_training_files(per_class, 2048, seed)
+    classifier = IustitiaClassifier(model=model, buffer_size=32)
+    classifier.fit_files(files, labels)
+    buffers = synthetic_buffers(n_buffers, 64, seed + 1)
+
+    def scalar() -> list:
+        return [classifier.classify_buffer(b) for b in buffers]
+
+    def batched() -> list:
+        return classifier.classify_buffers(buffers)
+
+    if scalar() != batched():
+        raise AssertionError("batched classification diverged")
+    scalar_s = _best_of(scalar, repeat)
+    batch_s = _best_of(batched, repeat)
+    return {
+        "model": model,
+        "n_buffers": n_buffers,
+        "scalar_s": scalar_s,
+        "batch_s": batch_s,
+        "scalar_classifications_per_s": n_buffers / scalar_s,
+        "batch_classifications_per_s": n_buffers / batch_s,
+        "speedup": scalar_s / batch_s,
+    }
+
+
+def collect_results(
+    n_buffers: int = 256,
+    buffer_bytes: int = 1024,
+    cart_rows: int = 10_000,
+    dagsvm_rows: int = 2_000,
+    e2e_buffers: int = 512,
+    e2e_per_class: int = 30,
+    repeat: int = 3,
+    seed: int = SEED,
+) -> dict:
+    """All hot-path measurements, as the ``BENCH_hot_path.json`` payload."""
+    return {
+        "generated_by": "benchmarks/run_perf.py",
+        "seed": seed,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "extraction": bench_extraction(n_buffers, buffer_bytes, repeat, seed),
+        "cart_predict": bench_cart_predict(cart_rows, repeat, seed),
+        "dagsvm_predict": bench_dagsvm_predict(dagsvm_rows, repeat, seed),
+        "end_to_end_classify": bench_end_to_end(
+            e2e_buffers, e2e_per_class, repeat, seed
+        ),
+    }
+
+
+def main(argv: "list[str] | None" = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--buffers", type=int, default=256)
+    parser.add_argument("--buffer-bytes", type=int, default=1024)
+    parser.add_argument("--cart-rows", type=int, default=10_000)
+    parser.add_argument("--dagsvm-rows", type=int, default=2_000)
+    parser.add_argument("--e2e-buffers", type=int, default=512)
+    parser.add_argument("--e2e-per-class", type=int, default=30)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test scale: a few buffers/rows, one repeat",
+    )
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    if args.tiny:
+        args.buffers, args.buffer_bytes = 8, 64
+        args.cart_rows, args.dagsvm_rows = 64, 16
+        args.e2e_buffers, args.e2e_per_class = 8, 4
+        args.repeat = 1
+    results = collect_results(
+        n_buffers=args.buffers,
+        buffer_bytes=args.buffer_bytes,
+        cart_rows=args.cart_rows,
+        dagsvm_rows=args.dagsvm_rows,
+        e2e_buffers=args.e2e_buffers,
+        e2e_per_class=args.e2e_per_class,
+        repeat=args.repeat,
+        seed=args.seed,
+    )
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    for name in ("extraction", "cart_predict", "dagsvm_predict", "end_to_end_classify"):
+        entry = results[name]
+        print(
+            f"{name}: scalar {entry['scalar_s']:.4f}s, batched "
+            f"{entry['batch_s']:.4f}s, speedup {entry['speedup']:.1f}x"
+        )
+    print(f"wrote {args.out}")
+    return results
+
+
+if __name__ == "__main__":
+    main()

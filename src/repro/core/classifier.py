@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.entropy_vector import (
     entropy_vector,
+    entropy_vectors_batch,
     prefix_vector,
     random_offset_vector,
 )
@@ -117,6 +118,30 @@ class IustitiaClassifier:
             return self.estimator.estimate_vector(window).values
         return entropy_vector(window, self.feature_set).values
 
+    def buffer_vectors(self, buffers) -> np.ndarray:
+        """Entropy vectors of many flow buffers at once (``(n, d)`` matrix).
+
+        The batched counterpart of :func:`buffer_vector`: exact extraction
+        goes through :func:`entropy_vectors_batch`, which shares one
+        sliding-window pass per feature width across the whole batch. The
+        streaming estimator has per-buffer state, so estimated vectors
+        still run buffer-by-buffer.
+        """
+        windows = [bytes(b[: self.buffer_size]) for b in buffers]
+        if not windows:
+            return np.empty((0, len(self.feature_set.widths)), dtype=np.float64)
+        for i, window in enumerate(windows):
+            if len(window) < self.feature_set.max_width:
+                raise ValueError(
+                    f"buffer {i} of {len(window)} bytes cannot hold feature "
+                    f"h_{self.feature_set.max_width}"
+                )
+        if self.estimator is not None:
+            return np.vstack(
+                [self.estimator.estimate_vector(w).values for w in windows]
+            )
+        return entropy_vectors_batch(windows, self.feature_set)
+
     # -- training / inference ------------------------------------------------
 
     def fit_files(self, files, labels) -> "IustitiaClassifier":
@@ -150,6 +175,20 @@ class IustitiaClassifier:
         """Nature of a flow from its buffered payload."""
         vector = self.buffer_vector(buffer).reshape(1, -1)
         return FlowNature(int(self._model.predict(vector)[0]))
+
+    def classify_buffers(self, buffers) -> list[FlowNature]:
+        """Natures of many flow buffers through one batched model call.
+
+        Equivalent to ``[classify_buffer(b) for b in buffers]`` but
+        extracts all entropy vectors in one batch and runs the model's
+        vectorized predict once — the engine's drain path for timeouts
+        and end-of-trace uses this.
+        """
+        if not buffers:
+            return []
+        X = self.buffer_vectors(buffers)
+        predictions = self._model.predict(X)
+        return [FlowNature(int(p)) for p in predictions]
 
     def classify_file(self, data: bytes) -> FlowNature:
         """Nature of a file from its first ``buffer_size`` bytes."""

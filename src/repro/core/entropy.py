@@ -25,15 +25,25 @@ import math
 import numpy as np
 
 __all__ = [
+    "PACKED_MAX_K",
     "byte_entropy",
     "kgram_count_values",
     "kgram_counts",
+    "kgram_counts_packed",
     "kgram_entropy",
     "max_normalized_entropy",
     "entropy_from_counts",
+    "packed_kgram_keys",
 ]
 
 _LN2 = math.log(2.0)
+
+#: Widest k-gram whose big-endian polynomial pack fits a uint64 key.
+PACKED_MAX_K = 8
+
+#: Largest key space counted through ``np.bincount`` instead of a sort
+#: (``2^16`` int64 bins = 512 KiB, cheaper than sorting the keys).
+_BINCOUNT_MAX_KEYS = 1 << 16
 
 
 def _as_byte_array(data: "bytes | bytearray | memoryview | np.ndarray") -> np.ndarray:
@@ -42,7 +52,9 @@ def _as_byte_array(data: "bytes | bytearray | memoryview | np.ndarray") -> np.nd
         if data.dtype != np.uint8:
             raise TypeError(f"numpy input must be uint8, got {data.dtype}")
         return data.ravel()
-    return np.frombuffer(bytes(data) if isinstance(data, memoryview) else data, dtype=np.uint8)
+    if isinstance(data, memoryview) and not data.contiguous:
+        data = bytes(data)
+    return np.frombuffer(data, dtype=np.uint8)
 
 
 def kgram_count_values(
@@ -66,6 +78,63 @@ def kgram_count_values(
     voids = np.ascontiguousarray(windows).view(np.dtype((np.void, k))).ravel()
     _, counts = np.unique(voids, return_counts=True)
     return counts
+
+
+def packed_kgram_keys(arr: np.ndarray, k: int) -> np.ndarray:
+    """Big-endian polynomial pack of every k-gram into one ``uint64`` key.
+
+    ``arr`` may be 1-D (one buffer) or 2-D (a batch of equal-length
+    buffers, one per row); the pack runs over the last axis. Key order is
+    the lexicographic order of the gram bytes, so sorted keys enumerate
+    grams exactly as the void-view ``np.unique`` does. Requires
+    ``k <= PACKED_MAX_K`` (8 bytes fill the 64-bit key).
+    """
+    if not 1 <= k <= PACKED_MAX_K:
+        raise ValueError(f"k must be in [1, {PACKED_MAX_K}], got {k}")
+    n = arr.shape[-1] - k + 1
+    wide = arr.astype(np.uint64)
+    keys = wide[..., :n].copy()
+    for j in range(1, k):
+        keys <<= np.uint64(8)
+        keys |= wide[..., j : j + n]
+    return keys
+
+
+def _counts_from_sorted(keys: np.ndarray) -> np.ndarray:
+    """Run lengths of a sorted 1-D key array (counts in key order)."""
+    starts = np.concatenate(([0], np.flatnonzero(keys[1:] != keys[:-1]) + 1))
+    return np.diff(np.concatenate((starts, [keys.size])))
+
+
+def kgram_counts_packed(
+    data: "bytes | bytearray | np.ndarray", k: int
+) -> np.ndarray:
+    """Counts of each distinct k-gram via packed ``uint64`` keys.
+
+    The hot-path replacement for :func:`kgram_count_values`: for
+    ``k <= 8`` each k-gram is packed into a single integer key, which is
+    counted with one ``np.bincount`` (small key spaces, ``k <= 2``) or one
+    in-place sort — both far cheaper than the void-dtype ``np.unique``
+    (which must sort k-byte records and first copy the strided window
+    view). Counts come back in lexicographic gram order, bit-identical to
+    :func:`kgram_count_values`; ``k > 8`` falls back to the void view.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    arr = _as_byte_array(data)
+    if arr.size < k:
+        raise ValueError(f"need at least k={k} bytes, got {arr.size}")
+    if k == 1:
+        counts = np.bincount(arr, minlength=256)
+        return counts[counts > 0]
+    if k > PACKED_MAX_K:
+        return kgram_count_values(arr, k)
+    keys = packed_kgram_keys(arr, k)
+    if (1 << (8 * k)) <= _BINCOUNT_MAX_KEYS:
+        counts = np.bincount(keys.astype(np.int64), minlength=1 << (8 * k))
+        return counts[counts > 0]
+    keys.sort()
+    return _counts_from_sorted(keys)
 
 
 def kgram_counts(

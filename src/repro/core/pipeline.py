@@ -137,30 +137,55 @@ class IustitiaEngine:
             # keep the unskipped bytes rather than dropping the flow.
         return window[: self.config.buffer_size], protocol
 
-    def _classify_pending(self, flow_id: bytes, pending: _PendingFlow, now: float) -> "FlowNature | None":
-        window, protocol = self._classification_window(bytes(pending.buffer))
-        if len(window) < self.classifier.feature_set.max_width:
-            self.stats.unclassifiable += 1
-            del self._pending[flow_id]
-            return None
-        label = self.classifier.classify_buffer(window)
-        self.cdb.insert(flow_id, label, now)
-        self.stats.classifications += 1
-        self.stats.per_class[label] += 1
-        self.stats.classified.append(
-            ClassifiedFlow(
-                key=pending.key,
-                label=label,
-                classified_at=now,
-                buffering_delay=now - pending.first_arrival,
-                buffered_bytes=len(pending.buffer),
-                stripped_protocol=protocol,
+    def _classify_pending_batch(
+        self, items: "list[tuple[bytes, _PendingFlow]]", now: float
+    ) -> "list[FlowNature | None]":
+        """Classify many pending flows through one batched classifier call.
+
+        Windows are prepared per flow (in order, so any random-skip RNG
+        draws match the one-at-a-time path), too-short flows are dropped
+        as unclassifiable, and the rest go through
+        ``classify_buffers`` — one entropy-extraction batch and one model
+        predict for the whole drain.
+        """
+        min_window = self.classifier.feature_set.max_width
+        usable: list[int] = []
+        windows: list[bytes] = []
+        protocols: "list[str | None]" = []
+        results: "list[FlowNature | None]" = [None] * len(items)
+        for i, (flow_id, pending) in enumerate(items):
+            window, protocol = self._classification_window(bytes(pending.buffer))
+            if len(window) < min_window:
+                self.stats.unclassifiable += 1
+                del self._pending[flow_id]
+            else:
+                usable.append(i)
+                windows.append(window)
+                protocols.append(protocol)
+        labels = self.classifier.classify_buffers(windows)
+        for i, label, protocol in zip(usable, labels, protocols):
+            flow_id, pending = items[i]
+            self.cdb.insert(flow_id, label, now)
+            self.stats.classifications += 1
+            self.stats.per_class[label] += 1
+            self.stats.classified.append(
+                ClassifiedFlow(
+                    key=pending.key,
+                    label=label,
+                    classified_at=now,
+                    buffering_delay=now - pending.first_arrival,
+                    buffered_bytes=len(pending.buffer),
+                    stripped_protocol=protocol,
+                )
             )
-        )
-        for buffered in pending.packets:
-            self.output_queues[label].append(buffered)
-        del self._pending[flow_id]
-        return label
+            for buffered in pending.packets:
+                self.output_queues[label].append(buffered)
+            del self._pending[flow_id]
+            results[i] = label
+        return results
+
+    def _classify_pending(self, flow_id: bytes, pending: _PendingFlow, now: float) -> "FlowNature | None":
+        return self._classify_pending_batch([(flow_id, pending)], now)[0]
 
     # -- packet path ----------------------------------------------------------
 
@@ -228,8 +253,7 @@ class IustitiaEngine:
             for flow_id, pending in list(self._pending.items())
             if now - pending.last_arrival > self.config.buffer_timeout
         ]
-        for flow_id, pending in expired:
-            self._classify_pending(flow_id, pending, now)
+        self._classify_pending_batch(expired, now)
         return len(expired)
 
     def process_trace(
@@ -253,9 +277,15 @@ class IustitiaEngine:
                 next_sample += sample_interval
         if trace.packets:
             final = trace.packets[-1].timestamp
-            for flow_id, pending in list(self._pending.items()):
-                self._classify_pending(flow_id, pending, final)
-            self.stats.cdb_size_series.append((final, len(self.cdb)))
+            self._classify_pending_batch(list(self._pending.items()), final)
+            series = self.stats.cdb_size_series
+            if series and series[-1][0] == final:
+                # The in-loop sampler already emitted a sample at exactly
+                # the final timestamp; replace it (the drain above may have
+                # changed the CDB size) instead of appending a duplicate.
+                series[-1] = (final, len(self.cdb))
+            else:
+                series.append((final, len(self.cdb)))
         return self.stats
 
     # -- evaluation ------------------------------------------------------------

@@ -57,26 +57,36 @@ class DagSvmClassifier:
         """Predicted class labels for each row of ``X``.
 
         The DDAG descent is batched: every sample tracks its candidate
-        interval ``[lo, hi]``; samples at the same DAG node are evaluated
-        through one vectorized kernel call. Each sample still consults
-        exactly ``k - 1`` binary machines — the property the paper adopts
-        DAGSVM for.
+        interval ``[lo, hi]``; per DAG level, samples are grouped by their
+        (lo, hi) node with one ``argsort`` over packed pair ids, and each
+        pairwise machine's decision function is evaluated once over all
+        rows sitting at that node. Each sample still consults exactly
+        ``k - 1`` binary machines — the property the paper adopts DAGSVM
+        for.
         """
         features = check_X(X)
         check_fitted(self, "pairwise_")
         n = features.shape[0]
+        n_classes = self.classes_.size
         lo = np.zeros(n, dtype=np.int64)
-        hi = np.full(n, self.classes_.size - 1, dtype=np.int64)
+        hi = np.full(n, n_classes - 1, dtype=np.int64)
         while True:
-            active = lo < hi
-            if not np.any(active):
+            active = np.flatnonzero(lo < hi)
+            if active.size == 0:
                 break
-            pairs = {}
-            active_idx = np.flatnonzero(active)
-            for i in active_idx.tolist():
-                pairs.setdefault((int(lo[i]), int(hi[i])), []).append(i)
-            for (a, b), members in pairs.items():
-                rows = np.asarray(members, dtype=np.int64)
+            pair_ids = lo[active] * n_classes + hi[active]
+            order = np.argsort(pair_ids, kind="stable")
+            sorted_ids = pair_ids[order]
+            bounds = np.concatenate(
+                (
+                    [0],
+                    np.flatnonzero(sorted_ids[1:] != sorted_ids[:-1]) + 1,
+                    [sorted_ids.size],
+                )
+            )
+            for start, end in zip(bounds[:-1], bounds[1:]):
+                rows = active[order[start:end]]
+                a, b = divmod(int(sorted_ids[start]), n_classes)
                 svc = self.pairwise_[(a, b)]
                 predicted_b = svc.decision_function(features[rows]) >= 0.0
                 # BinarySVC maps the smaller label (class a) to the
@@ -84,6 +94,27 @@ class DagSvmClassifier:
                 lo[rows[predicted_b]] = a + 1
                 hi[rows[~predicted_b]] = b - 1
         return self.classes_[lo]
+
+    def predict_scalar(self, X) -> np.ndarray:
+        """Reference per-sample DDAG walk (one kernel call per DAG step).
+
+        Kept for equivalence testing and as the scalar baseline in the
+        hot-path benchmark; ``predict`` is the batched fast path.
+        """
+        features = check_X(X)
+        check_fitted(self, "pairwise_")
+        out = np.empty(features.shape[0], dtype=self.classes_.dtype)
+        for i in range(features.shape[0]):
+            lo, hi = 0, self.classes_.size - 1
+            row = features[i : i + 1]
+            while lo < hi:
+                svc = self.pairwise_[(lo, hi)]
+                if float(svc.decision_function(row)[0]) >= 0.0:
+                    lo += 1
+                else:
+                    hi -= 1
+            out[i] = self.classes_[lo]
+        return out
 
     def score(self, X, y) -> float:
         """Mean accuracy on (X, y)."""

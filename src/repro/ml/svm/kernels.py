@@ -20,11 +20,13 @@ class Kernel:
         raise NotImplementedError
 
     def diagonal(self, X: np.ndarray) -> np.ndarray:
-        """``K(x_i, x_i)`` for each row — cheaper than the full Gram diagonal."""
-        out = np.empty(X.shape[0], dtype=np.float64)
-        for i in range(X.shape[0]):
-            out[i] = float(self(X[i : i + 1], X[i : i + 1])[0, 0])
-        return out
+        """``K(x_i, x_i)`` for each row.
+
+        Generic fallback extracts the diagonal of one full Gram evaluation;
+        concrete kernels override with a closed form that avoids the
+        ``O(n^2)`` matrix entirely.
+        """
+        return np.einsum("ii->i", self(X, X)).copy()
 
 
 class LinearKernel(Kernel):
@@ -35,7 +37,7 @@ class LinearKernel(Kernel):
 
     def diagonal(self, X: np.ndarray) -> np.ndarray:
         arr = np.asarray(X, dtype=np.float64)
-        return (arr * arr).sum(axis=1)
+        return np.einsum("ij,ij->i", arr, arr)
 
     def __repr__(self) -> str:
         return "LinearKernel()"
@@ -55,6 +57,11 @@ class PolynomialKernel(Kernel):
 
     def __call__(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
         inner = np.asarray(X, dtype=np.float64) @ np.asarray(Y, dtype=np.float64).T
+        return (self.gamma * inner + self.coef0) ** self.degree
+
+    def diagonal(self, X: np.ndarray) -> np.ndarray:
+        arr = np.asarray(X, dtype=np.float64)
+        inner = np.einsum("ij,ij->i", arr, arr)
         return (self.gamma * inner + self.coef0) ** self.degree
 
     def __repr__(self) -> str:

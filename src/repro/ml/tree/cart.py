@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.ml.base import check_fitted, check_X, check_X_y
 
-__all__ = ["DecisionTreeClassifier", "TreeNode"]
+__all__ = ["CompiledTree", "DecisionTreeClassifier", "TreeNode"]
 
 
 @dataclass
@@ -102,6 +102,51 @@ def _entropy_from_count_rows(counts: np.ndarray) -> np.ndarray:
 _IMPURITY_ROWS = {"gini": _gini_from_count_rows, "entropy": _entropy_from_count_rows}
 
 
+@dataclass(frozen=True)
+class CompiledTree:
+    """Flat-array form of a fitted CART tree for vectorized prediction.
+
+    Nodes are stored in preorder; ``feature[i] == -1`` marks a leaf, in
+    which case ``left``/``right`` are ``-1`` too. ``predict`` routes all
+    rows of ``X`` simultaneously: each iteration advances every row still
+    at an internal node one level down, so the loop runs ``depth`` times
+    regardless of the number of rows.
+    """
+
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    class_counts: np.ndarray
+    prediction: np.ndarray
+    classes: np.ndarray
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.size)
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Index (into the flat arrays) of each row's leaf."""
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            rows = np.flatnonzero(self.feature[node] >= 0)
+            if rows.size == 0:
+                return node
+            at = node[rows]
+            go_left = X[rows, self.feature[at]] <= self.threshold[at]
+            node[rows] = np.where(go_left, self.left[at], self.right[at])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted class labels for each row of ``X``."""
+        return self.classes[self.prediction[self.apply(X)]]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class-frequency estimates per row."""
+        counts = self.class_counts[self.apply(X)]
+        totals = np.maximum(counts.sum(axis=1, keepdims=True), 1.0)
+        return counts / totals
+
+
 class DecisionTreeClassifier:
     """CART classifier with Gini/entropy splitting and depth/size controls.
 
@@ -142,6 +187,7 @@ class DecisionTreeClassifier:
         self.root_: "TreeNode | None" = None
         self.classes_: "np.ndarray | None" = None
         self.n_features_: int = 0
+        self._compiled_: "tuple[TreeNode, CompiledTree] | None" = None
 
     # -- fitting -----------------------------------------------------------
 
@@ -261,8 +307,59 @@ class DecisionTreeClassifier:
             node = node.left if row[node.feature] <= node.threshold else node.right
         return node
 
+    def compile(self) -> CompiledTree:
+        """Flat-array form of the fitted tree (see :class:`CompiledTree`)."""
+        check_fitted(self, "root_")
+        nodes = self.nodes()
+        index = {id(node): i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        feature = np.full(n, -1, dtype=np.int64)
+        threshold = np.zeros(n, dtype=np.float64)
+        left = np.full(n, -1, dtype=np.int64)
+        right = np.full(n, -1, dtype=np.int64)
+        prediction = np.empty(n, dtype=np.int64)
+        class_counts = np.empty((n, self.classes_.size), dtype=np.float64)
+        for i, node in enumerate(nodes):
+            prediction[i] = node.prediction
+            class_counts[i] = node.class_counts
+            if not node.is_leaf:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = index[id(node.left)]
+                right[i] = index[id(node.right)]
+        return CompiledTree(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            class_counts=class_counts,
+            prediction=prediction,
+            classes=self.classes_,
+        )
+
+    def _ensure_compiled(self) -> CompiledTree:
+        """Compiled form of the current tree, cached per ``root_`` object."""
+        if self._compiled_ is None or self._compiled_[0] is not self.root_:
+            self._compiled_ = (self.root_, self.compile())
+        return self._compiled_[1]
+
     def predict(self, X) -> np.ndarray:
-        """Predicted class labels for each row of ``X``."""
+        """Predicted class labels for each row of ``X`` (vectorized)."""
+        features = check_X(X)
+        check_fitted(self, "root_")
+        if features.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X has {features.shape[1]} features, tree was fit on "
+                f"{self.n_features_}"
+            )
+        return self._ensure_compiled().predict(features)
+
+    def predict_nodewalk(self, X) -> np.ndarray:
+        """Reference per-row node-walk prediction (the pre-compiled path).
+
+        Kept for equivalence testing and as the scalar baseline in the
+        hot-path benchmark; ``predict`` is the fast path.
+        """
         features = check_X(X)
         check_fitted(self, "root_")
         if features.shape[1] != self.n_features_:
@@ -279,11 +376,7 @@ class DecisionTreeClassifier:
         """Leaf class-frequency estimates per row (columns follow classes_)."""
         features = check_X(X)
         check_fitted(self, "root_")
-        out = np.empty((features.shape[0], self.classes_.size), dtype=np.float64)
-        for i in range(features.shape[0]):
-            counts = self._leaf_for(features[i]).class_counts
-            out[i] = counts / max(counts.sum(), 1.0)
-        return out
+        return self._ensure_compiled().predict_proba(features)
 
     def score(self, X, y) -> float:
         """Mean accuracy on (X, y)."""

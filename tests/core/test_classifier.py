@@ -111,6 +111,50 @@ class TestBufferClassification:
         assert all(isinstance(p, FlowNature) for p in predictions)
 
 
+class TestBatchClassification:
+    def test_classify_buffers_matches_per_buffer(self, trained_svm, small_corpus):
+        buffers = [f.data[:40] for f in list(small_corpus)[:12]]
+        batched = trained_svm.classify_buffers(buffers)
+        scalar = [trained_svm.classify_buffer(b) for b in buffers]
+        assert batched == scalar
+
+    def test_classify_buffers_matches_cart(self, trained_cart, small_corpus):
+        buffers = [f.data[:40] for f in list(small_corpus)[:12]]
+        assert trained_cart.classify_buffers(buffers) == [
+            trained_cart.classify_buffer(b) for b in buffers
+        ]
+
+    def test_buffer_vectors_match_per_buffer(self, trained_svm, small_corpus):
+        buffers = [f.data[:40] for f in list(small_corpus)[:8]]
+        batched = trained_svm.buffer_vectors(buffers)
+        scalar = np.vstack([trained_svm.buffer_vector(b) for b in buffers])
+        assert np.abs(batched - scalar).max() <= 1e-12
+
+    def test_empty_batch(self, trained_svm):
+        assert trained_svm.classify_buffers([]) == []
+        vectors = trained_svm.buffer_vectors([])
+        assert vectors.shape == (0, len(trained_svm.feature_set.widths))
+
+    def test_short_buffer_named_in_error(self, trained_svm, sample_files):
+        with pytest.raises(ValueError, match="buffer 1"):
+            trained_svm.classify_buffers([sample_files["text"][:40], b"abc"])
+
+    def test_estimator_path_still_per_buffer(self, small_corpus):
+        estimator = EntropyEstimator(
+            epsilon=0.25,
+            delta=0.25,
+            buffer_size=1024,
+            features=PHI_SVM_PRIME,
+            rng=np.random.default_rng(0),
+        )
+        clf = IustitiaClassifier(
+            model="svm", buffer_size=1024, estimator=estimator
+        ).fit_corpus(small_corpus)
+        buffers = [f.data[:1024] for f in list(small_corpus)[:3]]
+        vectors = clf.buffer_vectors(buffers)
+        assert vectors.shape == (3, len(PHI_SVM_PRIME))
+
+
 class TestEstimatedClassification:
     def test_estimator_used_at_classification_time(self, small_corpus):
         estimator = EntropyEstimator(

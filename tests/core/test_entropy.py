@@ -6,12 +6,16 @@ import numpy as np
 import pytest
 
 from repro.core.entropy import (
+    PACKED_MAX_K,
+    _as_byte_array,
     byte_entropy,
     entropy_from_counts,
     kgram_count_values,
     kgram_counts,
+    kgram_counts_packed,
     kgram_entropy,
     max_normalized_entropy,
+    packed_kgram_keys,
 )
 
 
@@ -61,6 +65,74 @@ class TestKgramCounts:
     def test_numpy_wrong_dtype_rejected(self):
         with pytest.raises(TypeError, match="uint8"):
             kgram_count_values(np.zeros(8, dtype=np.int32), 1)
+
+
+class TestAsByteArray:
+    def test_contiguous_memoryview_is_zero_copy(self):
+        # Regression: memoryviews used to be round-tripped through
+        # ``bytes(data)``, copying the flow buffer on every extraction.
+        backing = bytearray(b"\x00" * 32)
+        arr = _as_byte_array(memoryview(backing))
+        backing[0] = 0xFF
+        assert arr[0] == 0xFF  # same memory, no copy
+
+    def test_non_contiguous_memoryview_copied_correctly(self):
+        backing = bytes(range(64))
+        strided = memoryview(backing)[::2]
+        arr = _as_byte_array(strided)
+        np.testing.assert_array_equal(
+            arr, np.frombuffer(bytes(strided), dtype=np.uint8)
+        )
+
+    def test_entropy_same_through_memoryview(self):
+        data = b"the quick brown fox" * 5
+        assert kgram_entropy(memoryview(data), 3) == kgram_entropy(data, 3)
+
+
+class TestPackedKgramCounts:
+    def test_packed_keys_known_value(self):
+        # Big-endian polynomial packing: "ab" -> 0x6162.
+        keys = packed_kgram_keys(np.frombuffer(b"abc", dtype=np.uint8), 2)
+        assert keys.tolist() == [0x6162, 0x6263]
+
+    def test_packed_keys_preserve_lexicographic_order(self, rng):
+        data = rng.integers(0, 256, 200, dtype=np.int64).astype(np.uint8)
+        keys = packed_kgram_keys(data, 5)
+        grams = [bytes(data[i : i + 5]) for i in range(data.size - 4)]
+        order_by_key = np.argsort(keys, kind="stable")
+        order_by_gram = sorted(range(len(grams)), key=lambda i: grams[i])
+        assert [grams[i] for i in order_by_key] == [
+            grams[i] for i in order_by_gram
+        ]
+
+    def test_counts_match_void_path(self, rng):
+        data = rng.integers(0, 256, 400, dtype=np.int64).astype(np.uint8).tobytes()
+        for k in (1, 2, 3, 4, PACKED_MAX_K, PACKED_MAX_K + 1, 12):
+            np.testing.assert_array_equal(
+                kgram_counts_packed(data, k), kgram_count_values(data, k)
+            )
+
+    def test_low_entropy_data(self):
+        data = b"abababab" * 16
+        for k in (1, 2, 3, 8):
+            np.testing.assert_array_equal(
+                kgram_counts_packed(data, k), kgram_count_values(data, k)
+            )
+
+    def test_entropy_from_packed_counts_matches(self):
+        data = b"entropy of packed keys" * 6
+        for k in (2, 5, 8):
+            assert entropy_from_counts(
+                kgram_counts_packed(data, k), k
+            ) == kgram_entropy(data, k)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            kgram_counts_packed(b"abc", 0)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="at least k=4"):
+            kgram_counts_packed(b"abc", 4)
 
 
 class TestKgramEntropy:

@@ -7,10 +7,16 @@ from repro.core.entropy import kgram_entropy
 from repro.core.entropy_vector import (
     EntropyVector,
     entropy_vector,
+    entropy_vectors_batch,
     prefix_vector,
     random_offset_vector,
 )
-from repro.core.features import FULL_FEATURES, PHI_SVM_PRIME, FeatureSet
+from repro.core.features import (
+    FEATURE_SETS,
+    FULL_FEATURES,
+    PHI_SVM_PRIME,
+    FeatureSet,
+)
 
 
 class TestEntropyVector:
@@ -89,6 +95,50 @@ class TestRandomOffsetVector:
     def test_buffer_validation(self, sample_files, rng):
         with pytest.raises(ValueError, match="widest feature"):
             random_offset_vector(sample_files["text"], 4, 0, rng, PHI_SVM_PRIME)
+
+
+class TestBatchExtraction:
+    def test_matches_per_sample_on_real_files(self, sample_files):
+        buffers = [data[:256] for data in sample_files.values()]
+        batched = entropy_vectors_batch(buffers, FULL_FEATURES)
+        for row, buffer in zip(batched, buffers):
+            scalar = entropy_vector(buffer, FULL_FEATURES).values
+            assert np.abs(row - scalar).max() <= 1e-12
+
+    def test_all_named_feature_sets(self, sample_files):
+        buffers = [data[:64] for data in sample_files.values()]
+        for features in FEATURE_SETS.values():
+            batched = entropy_vectors_batch(buffers, features)
+            for row, buffer in zip(batched, buffers):
+                scalar = entropy_vector(buffer, features).values
+                assert np.abs(row - scalar).max() <= 1e-12
+
+    def test_mixed_lengths_grouped_and_reordered(self, sample_files):
+        # Different lengths take different stacking groups; the output must
+        # still line up with the input order.
+        data = sample_files["binary"]
+        buffers = [data[:48], data[:200], data[:48], data[:131], data[:200]]
+        batched = entropy_vectors_batch(buffers, PHI_SVM_PRIME)
+        for row, buffer in zip(batched, buffers):
+            scalar = entropy_vector(buffer, PHI_SVM_PRIME).values
+            assert np.abs(row - scalar).max() <= 1e-12
+
+    def test_wider_than_two_words_falls_back(self, sample_files):
+        # k = 17 exceeds the two-word packed limit (2 * 8 bytes).
+        features = FeatureSet("wide", (1, 17))
+        buffers = [data[:64] for data in sample_files.values()]
+        batched = entropy_vectors_batch(buffers, features)
+        for row, buffer in zip(batched, buffers):
+            scalar = entropy_vector(buffer, features).values
+            assert np.abs(row - scalar).max() <= 1e-12
+
+    def test_empty_batch(self):
+        batched = entropy_vectors_batch([], PHI_SVM_PRIME)
+        assert batched.shape == (0, len(PHI_SVM_PRIME))
+
+    def test_short_buffer_named_in_error(self):
+        with pytest.raises(ValueError, match="buffer 1"):
+            entropy_vectors_batch([b"x" * 64, b"xy"], PHI_SVM_PRIME)
 
 
 class TestClassGeometry:

@@ -115,6 +115,36 @@ class TestTimeouts:
         assert engine.flush_timeouts(now=1.0) == 0
         assert engine.stats.classifications == 0
 
+    def test_batched_flush_matches_scalar_classification(
+        self, engine, trained_svm, sample_files
+    ):
+        # Many stale pending flows drain through one classify_buffers call;
+        # each must get the label the scalar per-buffer path would give it.
+        payloads = {
+            1001: sample_files["text"][:20],
+            1002: sample_files["binary"][:20],
+            1003: sample_files["encrypted"][:20],
+            1004: sample_files["text"][40:60],
+        }
+        for sport, payload in payloads.items():
+            engine.process_packet(_udp_packet(payload, 0.0, sport=sport))
+        assert engine.flush_timeouts(now=100.0) == len(payloads)
+        assert engine.stats.classifications == len(payloads)
+        assert not engine._pending
+        by_key = {c.key.src_port: c.label for c in engine.stats.classified}
+        for sport, payload in payloads.items():
+            assert by_key[sport] == trained_svm.classify_buffer(payload)
+
+    def test_batched_flush_skips_tiny_flows(self, engine, sample_files):
+        engine.process_packet(_udp_packet(b"abc", 0.0, sport=2001))
+        engine.process_packet(
+            _udp_packet(sample_files["encrypted"][:20], 0.0, sport=2002)
+        )
+        assert engine.flush_timeouts(now=100.0) == 2
+        assert engine.stats.classifications == 1
+        assert engine.stats.unclassifiable == 1
+        assert not engine._pending
+
 
 class TestTraceProcessing:
     def test_full_trace_accuracy(self, trained_svm, small_trace):
@@ -131,6 +161,33 @@ class TestTraceProcessing:
         assert stats.cdb_size_series
         times = [t for t, _ in stats.cdb_size_series]
         assert times == sorted(times)
+
+    def test_cdb_size_series_no_duplicate_final_sample(self, trained_svm):
+        from repro.net.trace import Trace
+
+        # Regression: when the last packet lands exactly on a sample point,
+        # the end-of-trace drain used to append a second sample at the same
+        # timestamp. The final sample must instead replace it.
+        engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        data = bytes(range(64))
+        trace = Trace(
+            packets=[
+                _udp_packet(data[:40], 0.0, sport=3001),
+                _udp_packet(data[:40], 1.0, sport=3002),
+            ]
+        )
+        stats = engine.process_trace(trace, sample_interval=1.0)
+        times = [t for t, _ in stats.cdb_size_series]
+        assert times == sorted(set(times))  # strictly increasing, no dupes
+        assert times[-1] == 1.0
+        # The replaced sample reflects the post-drain CDB size.
+        assert stats.cdb_size_series[-1][1] == len(engine.cdb)
+
+    def test_cdb_size_series_strictly_increasing(self, trained_svm, small_trace):
+        engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        stats = engine.process_trace(small_trace, sample_interval=0.5)
+        times = [t for t, _ in stats.cdb_size_series]
+        assert all(a < b for a, b in zip(times, times[1:]))
 
     def test_per_class_counts_sum_to_classifications(self, trained_svm, small_trace):
         engine = IustitiaEngine(trained_svm, IustitiaConfig(buffer_size=32))

@@ -1,0 +1,52 @@
+"""Smoke test: the hot-path perf runner works end-to-end on a tiny corpus.
+
+No timing assertions — speedups vary by machine and CI load; only the
+runner's structure, equivalence checks, and JSON output are validated.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+BENCH_NAMES = (
+    "extraction",
+    "cart_predict",
+    "dagsvm_predict",
+    "end_to_end_classify",
+)
+
+
+def test_run_perf_tiny_writes_json(tmp_path):
+    out = tmp_path / "bench.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "run_perf.py"),
+            "--tiny",
+            "--out",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    results = json.loads(out.read_text())
+    assert results["generated_by"] == "benchmarks/run_perf.py"
+    for name in BENCH_NAMES:
+        entry = results[name]
+        assert entry["scalar_s"] > 0
+        assert entry["batch_s"] > 0
+        assert entry["speedup"] > 0
+        assert name in proc.stdout
+    # The runner refuses to time paths that diverge; the recorded
+    # extraction error bound must hold on the tiny corpus too.
+    assert results["extraction"]["max_abs_diff"] <= 1e-12

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.ml.base import NotFittedError
-from repro.ml.tree.cart import DecisionTreeClassifier
+from repro.ml.tree.cart import CompiledTree, DecisionTreeClassifier
 from repro.ml.tree.criteria import entropy_impurity, gini_impurity, impurity_function
 
 
@@ -122,6 +122,65 @@ class TestHyperparameters:
         X, y = blob_features
         clf = DecisionTreeClassifier(criterion="entropy").fit(X, y)
         assert clf.score(X, y) > 0.9
+
+
+class TestCompiledTree:
+    def test_structure_mirrors_nodes(self, blob_features):
+        X, y = blob_features
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        compiled = clf.compile()
+        assert isinstance(compiled, CompiledTree)
+        assert compiled.feature.size == clf.node_count
+        leaves = compiled.feature < 0
+        assert leaves.sum() == sum(n.is_leaf for n in clf.nodes())
+        # Internal nodes point at real children; leaves carry no split.
+        internal = np.flatnonzero(~leaves)
+        assert (compiled.left[internal] >= 0).all()
+        assert (compiled.right[internal] >= 0).all()
+
+    def test_predict_matches_node_walk(self, blob_features, rng):
+        X, y = blob_features
+        clf = DecisionTreeClassifier().fit(X, y)
+        probe = rng.random((500, X.shape[1]))
+        np.testing.assert_array_equal(
+            clf.predict(probe), clf.predict_nodewalk(probe)
+        )
+
+    def test_proba_matches_leaf_frequencies(self, blob_features):
+        X, y = blob_features
+        clf = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = clf.predict_proba(X[:25])
+        for row, expected in zip(X[:25], proba):
+            leaf = clf._leaf_for(row)
+            counts = np.asarray(leaf.class_counts, dtype=np.float64)
+            np.testing.assert_allclose(expected, counts / counts.sum())
+
+    def test_stump_predicts(self):
+        clf = DecisionTreeClassifier().fit(np.zeros((6, 2)), np.full(6, 3))
+        assert (clf.predict(np.random.default_rng(1).random((10, 2))) == 3).all()
+
+    def test_compiled_cache_invalidated_on_refit(self, blob_features, rng):
+        X, y = blob_features
+        clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        probe = rng.random((50, X.shape[1]))
+        clf.predict(probe)  # populate the compiled cache
+        clf.fit(X, (y + 1) % 3)  # new tree object -> cache must refresh
+        np.testing.assert_array_equal(
+            clf.predict(probe), clf.predict_nodewalk(probe)
+        )
+
+    def test_pruned_copy_compiles_independently(self, blob_features):
+        from repro.ml.tree.pruning import prune_to_accuracy
+
+        X, y = blob_features
+        clf = DecisionTreeClassifier().fit(X, y)
+        clf.predict(X[:5])
+        pruned = prune_to_accuracy(clf, X, y, max_drop=0.05)
+        np.testing.assert_array_equal(
+            pruned.predict(X), pruned.predict_nodewalk(X)
+        )
+        # The original classifier's compiled tree is untouched.
+        np.testing.assert_array_equal(clf.predict(X), clf.predict_nodewalk(X))
 
 
 class TestIntrospection:

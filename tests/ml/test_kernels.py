@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.ml.svm.kernels import LinearKernel, PolynomialKernel, RbfKernel
+from repro.ml.svm.kernels import Kernel, LinearKernel, PolynomialKernel, RbfKernel
 
 
 class TestLinearKernel:
@@ -35,6 +35,35 @@ class TestPolynomialKernel:
             PolynomialKernel(degree=0)
         with pytest.raises(ValueError, match="gamma"):
             PolynomialKernel(gamma=0.0)
+
+
+class TestDiagonals:
+    """K(x_i, x_i) closed forms vs the diagonal of the full Gram matrix."""
+
+    def test_polynomial_diagonal_closed_form(self, rng):
+        X = rng.random((7, 3))
+        kernel = PolynomialKernel(degree=3, gamma=2.0, coef0=0.5)
+        np.testing.assert_allclose(kernel.diagonal(X), np.diag(kernel(X, X)))
+
+    def test_base_fallback_extracts_diagonal(self, rng):
+        class SumKernel(Kernel):
+            def __call__(self, X, Y):
+                return np.asarray(X).sum(axis=1)[:, None] + np.asarray(Y).sum(
+                    axis=1
+                )
+
+        X = rng.random((6, 2))
+        np.testing.assert_allclose(SumKernel().diagonal(X), 2 * X.sum(axis=1))
+
+    def test_base_fallback_returns_writable_copy(self, rng):
+        class SumKernel(Kernel):
+            def __call__(self, X, Y):
+                return np.asarray(X).sum(axis=1)[:, None] + np.asarray(Y).sum(
+                    axis=1
+                )
+
+        diag = SumKernel().diagonal(rng.random((4, 2)))
+        diag[0] = -1.0  # must not raise: einsum views are read-only
 
 
 class TestRbfKernel:

@@ -59,6 +59,31 @@ class TestDagSvm:
             m.n_support_ for m in clf.pairwise_.values()
         )
 
+    def test_batched_predict_matches_scalar_walk(self, rng):
+        X, y = _three_blobs(rng)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        probe = rng.normal(1.0, 1.5, (120, 2))
+        np.testing.assert_array_equal(
+            clf.predict(probe), clf.predict_scalar(probe)
+        )
+
+    def test_batched_predict_four_classes(self, rng):
+        centers = [(0, 0), (3, 0), (0, 3), (3, 3)]
+        X = np.vstack([rng.normal(c, 0.3, (15, 2)) for c in centers])
+        y = np.repeat([0, 1, 2, 3], 15)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        probe = rng.normal(1.5, 2.0, (80, 2))
+        np.testing.assert_array_equal(
+            clf.predict(probe), clf.predict_scalar(probe)
+        )
+
+    def test_single_row_predict(self, rng):
+        X, y = _three_blobs(rng)
+        clf = DagSvmClassifier(C=10.0, kernel=RbfKernel(gamma=1.0)).fit(X, y)
+        row = X[:1]
+        assert clf.predict(row).shape == (1,)
+        assert clf.predict(row)[0] == clf.predict_scalar(row)[0]
+
 
 class TestOneVsOne:
     def test_three_blobs_high_accuracy(self, rng):
