@@ -12,12 +12,18 @@ the synthetic corpus generators and writes ``BENCH_hot_path.json``:
 * end-to-end classification      — ``classify_buffer`` per flow buffer vs
   one ``classify_buffers`` call.
 
+It also measures the staged engine's *fill-path* throughput — packets/sec
+through ``StagedEngine.process_trace`` on a one-packet-per-flow trace —
+across a ``max_batch`` sweep, and writes that to ``BENCH_engine.json``:
+``max_batch=1`` is the monolithic engine's classify-on-fill behaviour,
+larger batches ride the vectorized kernels.
+
 Every speedup is validated for output equivalence before it is timed.
 Seeds are fixed; only the wall-clock numbers vary between machines.
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/run_perf.py [--tiny] [--out PATH]
+    PYTHONPATH=src python benchmarks/run_perf.py [--quick] [--out PATH]
 """
 
 from __future__ import annotations
@@ -31,18 +37,23 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.classifier import IustitiaClassifier
+from repro.core.config import IustitiaConfig
 from repro.core.entropy_vector import entropy_vector, entropy_vectors_batch
 from repro.core.features import FULL_FEATURES
 from repro.core.labels import BINARY, ENCRYPTED, TEXT
 from repro.data.binarygen import generate_binary_file
 from repro.data.cryptogen import generate_encrypted_file
 from repro.data.textgen import generate_text_file
+from repro.engine import StagedEngine, StatsSink
 from repro.ml.svm.dagsvm import DagSvmClassifier
 from repro.ml.svm.kernels import RbfKernel
 from repro.ml.tree.cart import DecisionTreeClassifier
+from repro.net.packet import Ipv4Header, Packet, UdpHeader
+from repro.net.trace import Trace
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_hot_path.json"
+DEFAULT_ENGINE_OUT = REPO_ROOT / "BENCH_engine.json"
 SEED = 2009
 
 _NATURE_GENERATORS = (
@@ -200,6 +211,89 @@ def bench_end_to_end(
     }
 
 
+def fill_path_trace(n_flows: int, payload_bytes: int, seed: int) -> Trace:
+    """One data packet per flow: the engine's pure fill path.
+
+    Every packet opens a new flow whose payload already covers the
+    classification target, so each one costs a hash, a CDB miss, a
+    buffer insert, and a classification — the per-flow hot path.
+    """
+    buffers = synthetic_buffers(n_flows, payload_bytes, seed)
+    packets = []
+    dt = 0.001
+    for i, payload in enumerate(buffers):
+        packets.append(
+            Packet(
+                ip=Ipv4Header(
+                    src=f"10.{(i >> 16) & 255}.{(i >> 8) & 255}.{i & 255}",
+                    dst="192.168.0.1",
+                    protocol=17,
+                ),
+                transport=UdpHeader(src_port=1024 + (i % 60000), dst_port=80),
+                payload=payload,
+                timestamp=i * dt,
+            )
+        )
+    return Trace(packets=packets)
+
+
+def bench_engine_throughput(
+    n_flows: int,
+    payload_bytes: int,
+    per_class: int,
+    batch_sizes: "tuple[int, ...]",
+    repeat: int,
+    seed: int,
+    model: str = "svm",
+) -> dict:
+    """Fill-path packets/sec of ``StagedEngine`` across a max_batch sweep."""
+    files, labels = labelled_training_files(per_class, 2048, seed)
+    classifier = IustitiaClassifier(model=model, buffer_size=32)
+    classifier.fit_files(files, labels)
+    trace = fill_path_trace(n_flows, payload_bytes, seed + 1)
+    config = IustitiaConfig(buffer_size=32)
+
+    def run(max_batch: int) -> StagedEngine:
+        engine = StagedEngine(
+            classifier,
+            config,
+            max_batch=max_batch,
+            max_delay=1e9,  # size-triggered only: isolate the batching knob
+            sinks=[StatsSink()],
+        )
+        engine.process_trace(trace, sample_interval=1e9)
+        return engine
+
+    # Validate first: batching must change timing only, never labels.
+    baseline = {c.key: c.label for c in run(1).stats.classified}
+    for max_batch in batch_sizes:
+        got = {c.key: c.label for c in run(max_batch).stats.classified}
+        if got != baseline:
+            raise AssertionError(
+                f"max_batch={max_batch} changed labels on the fill path"
+            )
+
+    runs = {}
+    for max_batch in batch_sizes:
+        seconds = _best_of(lambda: run(max_batch), repeat)
+        runs[str(max_batch)] = {
+            "seconds": seconds,
+            "packets_per_s": len(trace) / seconds,
+            "flows_per_s": n_flows / seconds,
+        }
+    base = runs[str(batch_sizes[0])]["packets_per_s"]
+    for entry in runs.values():
+        entry["speedup_vs_unbatched"] = entry["packets_per_s"] / base
+    return {
+        "model": model,
+        "n_flows": n_flows,
+        "n_packets": len(trace),
+        "payload_bytes": payload_bytes,
+        "batch_sizes": list(batch_sizes),
+        "runs": runs,
+    }
+
+
 def collect_results(
     n_buffers: int = 256,
     buffer_bytes: int = 1024,
@@ -228,21 +322,55 @@ def collect_results(
     }
 
 
+def collect_engine_results(
+    n_flows: int = 600,
+    payload_bytes: int = 40,
+    per_class: int = 30,
+    batch_sizes: "tuple[int, ...]" = (1, 8, 32),
+    repeat: int = 3,
+    seed: int = SEED,
+) -> dict:
+    """Engine throughput sweep, as the ``BENCH_engine.json`` payload."""
+    results = {
+        "generated_by": "benchmarks/run_perf.py",
+        "seed": seed,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "engine_throughput": bench_engine_throughput(
+            n_flows, payload_bytes, per_class, batch_sizes, repeat, seed
+        ),
+    }
+    runs = results["engine_throughput"]["runs"]
+    if "1" in runs and "32" in runs:
+        results["engine_throughput"]["speedup_32_vs_1"] = (
+            runs["32"]["packets_per_s"] / runs["1"]["packets_per_s"]
+        )
+    return results
+
+
 def main(argv: "list[str] | None" = None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--engine-out", type=Path, default=DEFAULT_ENGINE_OUT)
     parser.add_argument("--buffers", type=int, default=256)
     parser.add_argument("--buffer-bytes", type=int, default=1024)
     parser.add_argument("--cart-rows", type=int, default=10_000)
     parser.add_argument("--dagsvm-rows", type=int, default=2_000)
     parser.add_argument("--e2e-buffers", type=int, default=512)
     parser.add_argument("--e2e-per-class", type=int, default=30)
+    parser.add_argument("--engine-flows", type=int, default=600)
+    parser.add_argument("--engine-payload-bytes", type=int, default=40)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=SEED)
     parser.add_argument(
         "--tiny",
+        "--quick",
+        dest="tiny",
         action="store_true",
-        help="smoke-test scale: a few buffers/rows, one repeat",
+        help="smoke-test scale: a few buffers/rows/flows, one repeat",
     )
     args = parser.parse_args(argv)
     if args.repeat < 1:
@@ -251,6 +379,7 @@ def main(argv: "list[str] | None" = None) -> dict:
         args.buffers, args.buffer_bytes = 8, 64
         args.cart_rows, args.dagsvm_rows = 64, 16
         args.e2e_buffers, args.e2e_per_class = 8, 4
+        args.engine_flows = 48
         args.repeat = 1
     results = collect_results(
         n_buffers=args.buffers,
@@ -270,6 +399,23 @@ def main(argv: "list[str] | None" = None) -> dict:
             f"{entry['batch_s']:.4f}s, speedup {entry['speedup']:.1f}x"
         )
     print(f"wrote {args.out}")
+
+    engine_results = collect_engine_results(
+        n_flows=args.engine_flows,
+        payload_bytes=args.engine_payload_bytes,
+        per_class=args.e2e_per_class,
+        repeat=args.repeat,
+        seed=args.seed,
+    )
+    args.engine_out.write_text(json.dumps(engine_results, indent=2) + "\n")
+    for max_batch, entry in engine_results["engine_throughput"]["runs"].items():
+        print(
+            f"engine_throughput max_batch={max_batch}: "
+            f"{entry['packets_per_s']:,.0f} packets/s "
+            f"({entry['speedup_vs_unbatched']:.1f}x)"
+        )
+    print(f"wrote {args.engine_out}")
+    results["engine"] = engine_results
     return results
 
 

@@ -48,6 +48,14 @@ from repro.core.features import (
     PHI_SVM_PRIME,
 )
 from repro.data import Corpus, LabeledFile, build_corpus
+from repro.engine import (
+    CallbackSink,
+    ClassifiedFlow,
+    QueueSink,
+    ResultSink,
+    StagedEngine,
+    StatsSink,
+)
 from repro.ml import DagSvmClassifier, DecisionTreeClassifier
 from repro.net import (
     FlowKey,
@@ -63,6 +71,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BINARY",
+    "CallbackSink",
+    "ClassifiedFlow",
     "Corpus",
     "ClassificationDatabase",
     "DagSvmClassifier",
@@ -84,6 +94,10 @@ __all__ = [
     "PHI_SVM",
     "PHI_SVM_PRIME",
     "Packet",
+    "QueueSink",
+    "ResultSink",
+    "StagedEngine",
+    "StatsSink",
     "TEXT",
     "Trace",
     "TrainingMethod",

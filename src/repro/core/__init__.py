@@ -45,7 +45,7 @@ from repro.core.headers import (
     strip_app_header,
 )
 from repro.core.labels import BINARY, ENCRYPTED, TEXT, FlowNature
-from repro.core.pipeline import IustitiaEngine, PipelineStats
+from repro.core.pipeline import ClassifiedFlow, IustitiaEngine, PipelineStats
 from repro.core.delay import BufferingDelayModel, DelayBreakdown
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "BufferingDelayModel",
     "CdbRecord",
     "ClassificationDatabase",
+    "ClassifiedFlow",
     "DelayBreakdown",
     "ENCRYPTED",
     "EntropyEstimator",

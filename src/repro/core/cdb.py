@@ -13,7 +13,12 @@ Records leave the CDB three ways:
   the flow's last observed packet inter-arrival time (``0.5 s`` default
   before two packets have been seen) and ``n`` is a tunable coefficient
   (paper's optimum: ``n = 4``);
-* explicit removal.
+* forced reclassification (the Section-4.6 defense deletes aged records
+  so long-lived flows are re-examined).
+
+Each exit path has its own lifetime counter so Figure-8 style reports can
+attribute removals correctly; :meth:`ClassificationDatabase.remove` takes
+the removal ``reason``.
 
 Inactivity purging runs when the flow count has grown by
 ``purge_trigger_flows`` (paper: 5,000) since the last purge.
@@ -25,13 +30,16 @@ from dataclasses import dataclass, field
 
 from repro.core.labels import FlowNature
 
-__all__ = ["CdbRecord", "ClassificationDatabase", "RECORD_BITS"]
+__all__ = ["CdbRecord", "ClassificationDatabase", "RECORD_BITS", "REMOVAL_REASONS"]
 
 #: Bits per CDB record: 160 hash + 32 inter-arrival + 2 label.
 RECORD_BITS = 194
 
 #: Default inter-arrival estimate before a flow has two packets (paper: 0.5 s).
 DEFAULT_LAMBDA = 0.5
+
+#: Valid ``reason`` values for :meth:`ClassificationDatabase.remove`.
+REMOVAL_REASONS = ("fin", "reclassified")
 
 
 @dataclass
@@ -74,6 +82,7 @@ class ClassificationDatabase:
     total_inserted: int = 0
     total_removed_fin: int = 0
     total_removed_inactive: int = 0
+    total_removed_reclassified: int = 0
 
     def __post_init__(self) -> None:
         if self.purge_coefficient <= 0:
@@ -135,12 +144,35 @@ class ClassificationDatabase:
             record.last_inter_arrival = gap if gap > 0 else record.last_inter_arrival
         record.last_arrival = now
 
-    def remove(self, flow_id: bytes) -> bool:
-        """Remove a flow (e.g. on FIN/RST); returns whether it was present."""
+    def remove(self, flow_id: bytes, reason: str = "fin") -> bool:
+        """Remove a flow; returns whether it was present.
+
+        ``reason`` attributes the removal for Figure-8 reporting:
+        ``"fin"`` for FIN/RST closes, ``"reclassified"`` for Section-4.6
+        forced reclassification. Inactivity removals go through
+        :meth:`purge_inactive` and are counted there.
+        """
+        if reason not in REMOVAL_REASONS:
+            raise ValueError(
+                f"unknown removal reason {reason!r}; expected one of "
+                f"{', '.join(REMOVAL_REASONS)}"
+            )
         if self._records.pop(flow_id, None) is not None:
-            self.total_removed_fin += 1
+            if reason == "fin":
+                self.total_removed_fin += 1
+            else:
+                self.total_removed_reclassified += 1
             return True
         return False
+
+    @property
+    def removal_counts(self) -> dict[str, int]:
+        """Lifetime removals keyed by exit path (fin / inactive / reclassified)."""
+        return {
+            "fin": self.total_removed_fin,
+            "inactive": self.total_removed_inactive,
+            "reclassified": self.total_removed_reclassified,
+        }
 
     def purge_inactive(self, now: float) -> int:
         """Drop all flows failing the staleness test; returns the count."""

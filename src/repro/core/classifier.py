@@ -195,13 +195,17 @@ class IustitiaClassifier:
         return self.classify_buffer(bytes(data))
 
     def score_files(self, files, labels) -> float:
-        """Mean accuracy classifying each file's first ``buffer_size`` bytes."""
+        """Mean accuracy classifying each file's first ``buffer_size`` bytes.
+
+        Scores the whole corpus through one :meth:`classify_buffers` call,
+        so extraction and prediction run on the batched paths.
+        """
         data_list = list(files)
         label_list = [FlowNature(l) for l in labels]
         if len(data_list) != len(label_list):
             raise ValueError(f"{len(data_list)} files but {len(label_list)} labels")
-        correct = sum(
-            self.classify_file(bytes(d)) == l
-            for d, l in zip(data_list, label_list)
-        )
+        if not data_list:
+            raise ValueError("scoring set must be non-empty")
+        predictions = self.classify_buffers([bytes(d) for d in data_list])
+        correct = sum(p == l for p, l in zip(predictions, label_list))
         return correct / len(data_list)

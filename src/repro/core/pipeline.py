@@ -1,4 +1,4 @@
-"""The online Iustitia engine (Figure 1).
+"""The online Iustitia engine (Figure 1) — backward-compatible facade.
 
 Packet path: hash the header to a flow ID; if the ID is in the CDB, look up
 the label and forward the packet to the matching output queue. Otherwise
@@ -10,76 +10,46 @@ removes the flow's CDB record; inactivity purging follows the CDB policy.
 
 Flows whose buffers cannot fill (short flows) are classified from whatever
 payload they have on timeout or FIN, provided it covers the widest feature.
+
+The implementation lives in :mod:`repro.engine`: ``IustitiaEngine`` is a
+thin facade over :class:`repro.engine.StagedEngine` pinned to
+``max_batch=1`` (classify each flow the instant it is ready — the seed
+monolith's synchronous behaviour), with a ``StatsSink`` + ``QueueSink``
+pair standing in for the historical ``stats.classified`` and
+``output_queues`` surfaces. New code that wants micro-batched
+classification, shard-parallel flow tables, or custom sinks should use
+``StagedEngine`` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.core.cdb import ClassificationDatabase
 from repro.core.classifier import IustitiaClassifier
 from repro.core.config import IustitiaConfig
-from repro.core.headers import skip_threshold, strip_app_header
-from repro.core.labels import ALL_NATURES, FlowNature
-from repro.net.flow import FlowKey
-from repro.net.hashing import flow_hash
+from repro.core.labels import FlowNature
+from repro.engine.engine import StagedEngine
+from repro.engine.sinks import QueueSink, StatsSink
+from repro.engine.types import ClassifiedFlow, EngineStats
 from repro.net.packet import Packet
 from repro.net.trace import Trace
 
 __all__ = ["ClassifiedFlow", "IustitiaEngine", "PipelineStats"]
 
-
-@dataclass
-class _PendingFlow:
-    """Per-flow state while its buffer is filling."""
-
-    key: FlowKey
-    buffer: bytearray = field(default_factory=bytearray)
-    packets: list[Packet] = field(default_factory=list)
-    first_arrival: float = 0.0
-    last_arrival: float = 0.0
-
-
-@dataclass(frozen=True)
-class ClassifiedFlow:
-    """Outcome of one flow classification."""
-
-    key: FlowKey
-    label: FlowNature
-    classified_at: float
-    buffering_delay: float
-    buffered_bytes: int
-    stripped_protocol: "str | None"
-
-
-@dataclass
-class PipelineStats:
-    """Counters and series collected while processing packets."""
-
-    packets: int = 0
-    data_packets: int = 0
-    cdb_hits: int = 0
-    classifications: int = 0
-    unclassifiable: int = 0
-    fin_removals: int = 0
-    reclassifications: int = 0
-    per_class: dict[FlowNature, int] = field(
-        default_factory=lambda: {nature: 0 for nature in ALL_NATURES}
-    )
-    #: (timestamp, CDB size) sampled after every packet batch.
-    cdb_size_series: list[tuple[float, int]] = field(default_factory=list)
-    #: Completed classifications, in order.
-    classified: list[ClassifiedFlow] = field(default_factory=list)
-
-    def buffering_delays(self) -> list[float]:
-        """Buffer-fill delays of all classified flows."""
-        return [c.buffering_delay for c in self.classified]
+#: Back-compat alias: the stats container now lives with the staged engine.
+PipelineStats = EngineStats
 
 
 class IustitiaEngine:
-    """Online flow-nature classifier engine."""
+    """Online flow-nature classifier engine (synchronous facade).
+
+    Construction and the whole public surface (``stats``,
+    ``output_queues``, ``cdb``, ``process_packet``, ``flush_timeouts``,
+    ``process_trace``, ``evaluate_against``) match the original
+    monolithic engine; work is delegated to a ``StagedEngine`` with
+    ``max_batch=1``, so labels, counters, and the CDB size series are
+    identical to the seed implementation.
+    """
 
     def __init__(
         self,
@@ -87,236 +57,59 @@ class IustitiaEngine:
         config: "IustitiaConfig | None" = None,
         rng: "np.random.Generator | None" = None,
     ) -> None:
-        self.classifier = classifier
-        self.config = config if config is not None else IustitiaConfig()
-        if self.config.buffer_size < classifier.feature_set.max_width:
-            raise ValueError(
-                "engine buffer_size cannot hold the classifier's widest feature"
-            )
-        self.cdb = ClassificationDatabase(
-            purge_coefficient=self.config.purge_coefficient,
-            purge_trigger_flows=self.config.purge_trigger_flows,
+        self._queue_sink = QueueSink()
+        self._engine = StagedEngine(
+            classifier,
+            config,
+            rng=rng,
+            max_batch=1,
+            max_delay=0.0,
+            sinks=[StatsSink(), self._queue_sink],
         )
-        self.stats = PipelineStats()
-        self.output_queues: dict[FlowNature, list[Packet]] = {
-            nature: [] for nature in ALL_NATURES
-        }
-        self._pending: dict[bytes, _PendingFlow] = {}
-        self._rng = rng if rng is not None else np.random.default_rng()
 
-    # -- helpers -------------------------------------------------------------
+    # -- delegated surface ----------------------------------------------------
 
     @property
-    def _target_bytes(self) -> int:
-        """Raw payload bytes to buffer before classifying."""
-        return (
-            self.config.buffer_size
-            + self.config.header_threshold
-            + self.config.random_skip_max
-        )
+    def classifier(self) -> IustitiaClassifier:
+        return self._engine.classifier
 
-    def _classification_window(self, raw: bytes) -> "tuple[bytes, str | None]":
-        """Apply header stripping/skipping; returns (window, protocol)."""
-        protocol = None
-        window = raw
-        min_window = self.classifier.feature_set.max_width
-        if self.config.random_skip_max:
-            # Section 4.6 defense: examine bytes at an unpredictable offset
-            # so adversarial padding at the flow head is skipped over.
-            skip = int(self._rng.integers(0, self.config.random_skip_max + 1))
-            skipped = skip_threshold(raw, skip)
-            if len(skipped) >= min_window:
-                window = skipped
-        if self.config.strip_known_headers:
-            protocol, window = strip_app_header(window)
-        if protocol is None and self.config.header_threshold:
-            thresholded = skip_threshold(window, self.config.header_threshold)
-            if len(thresholded) >= min_window:
-                window = thresholded
-            # else: short flow — skipping T would leave nothing usable;
-            # keep the unskipped bytes rather than dropping the flow.
-        return window[: self.config.buffer_size], protocol
+    @property
+    def config(self) -> IustitiaConfig:
+        return self._engine.config
 
-    def _classify_pending_batch(
-        self, items: "list[tuple[bytes, _PendingFlow]]", now: float
-    ) -> "list[FlowNature | None]":
-        """Classify many pending flows through one batched classifier call.
+    @property
+    def stats(self) -> PipelineStats:
+        return self._engine.stats
 
-        Windows are prepared per flow (in order, so any random-skip RNG
-        draws match the one-at-a-time path), too-short flows are dropped
-        as unclassifiable, and the rest go through
-        ``classify_buffers`` — one entropy-extraction batch and one model
-        predict for the whole drain.
-        """
-        min_window = self.classifier.feature_set.max_width
-        usable: list[int] = []
-        windows: list[bytes] = []
-        protocols: "list[str | None]" = []
-        results: "list[FlowNature | None]" = [None] * len(items)
-        for i, (flow_id, pending) in enumerate(items):
-            window, protocol = self._classification_window(bytes(pending.buffer))
-            if len(window) < min_window:
-                self.stats.unclassifiable += 1
-                del self._pending[flow_id]
-            else:
-                usable.append(i)
-                windows.append(window)
-                protocols.append(protocol)
-        labels = self.classifier.classify_buffers(windows)
-        for i, label, protocol in zip(usable, labels, protocols):
-            flow_id, pending = items[i]
-            self.cdb.insert(flow_id, label, now)
-            self.stats.classifications += 1
-            self.stats.per_class[label] += 1
-            self.stats.classified.append(
-                ClassifiedFlow(
-                    key=pending.key,
-                    label=label,
-                    classified_at=now,
-                    buffering_delay=now - pending.first_arrival,
-                    buffered_bytes=len(pending.buffer),
-                    stripped_protocol=protocol,
-                )
-            )
-            for buffered in pending.packets:
-                self.output_queues[label].append(buffered)
-            del self._pending[flow_id]
-            results[i] = label
-        return results
+    @property
+    def cdb(self):
+        """The sharded CDB partition (ClassificationDatabase-compatible)."""
+        return self._engine.table
 
-    def _classify_pending(self, flow_id: bytes, pending: _PendingFlow, now: float) -> "FlowNature | None":
-        return self._classify_pending_batch([(flow_id, pending)], now)[0]
+    @property
+    def output_queues(self) -> "dict[FlowNature, list[Packet]]":
+        """Per-nature forwarded packets (the facade's QueueSink)."""
+        return self._queue_sink.queues
 
-    # -- packet path ----------------------------------------------------------
+    @property
+    def _pending(self) -> dict:
+        """Pending flows by ID, in first-arrival order (testing aid)."""
+        return dict(self._engine.table.pending_items())
 
     def process_packet(self, packet: Packet) -> "FlowNature | None":
         """Run one packet through the engine; returns its flow's label if known."""
-        self.stats.packets += 1
-        key = FlowKey.of_packet(packet)
-        flow_id = flow_hash(key)
-        now = packet.timestamp
-        is_close = packet.is_tcp and (packet.transport.fin or packet.transport.rst)
-
-        record = self.cdb.record_of(flow_id)
-        if record is not None and (
-            self.config.reclassify_interval
-            and record.age(now) > self.config.reclassify_interval
-        ):
-            # Section 4.6 defense: long-lived flows are periodically
-            # re-examined, so padding only defrauds the first interval.
-            self.cdb.remove(flow_id)
-            self.stats.reclassifications += 1
-            record = None
-        if record is not None:
-            label = record.label
-            self.stats.cdb_hits += 1
-            self.cdb.touch(flow_id, now)
-            if packet.payload:
-                self.stats.data_packets += 1
-                self.output_queues[label].append(packet)
-            if is_close:
-                self.cdb.remove(flow_id)
-                self.stats.fin_removals += 1
-            return label
-
-        pending = self._pending.get(flow_id)
-        if pending is None:
-            pending = _PendingFlow(key=key, first_arrival=now, last_arrival=now)
-            self._pending[flow_id] = pending
-        pending.last_arrival = now
-        if packet.payload:
-            self.stats.data_packets += 1
-            pending.buffer.extend(packet.payload)
-            pending.packets.append(packet)
-
-        if len(pending.buffer) >= self._target_bytes:
-            result = self._classify_pending(flow_id, pending, now)
-        elif is_close:
-            # Flow is over; classify whatever arrived (or give up).
-            result = self._classify_pending(flow_id, pending, now)
-        else:
-            result = None
-        if is_close and result is not None:
-            self.cdb.remove(flow_id)
-            self.stats.fin_removals += 1
-        return result
+        return self._engine.process_packet(packet)
 
     def flush_timeouts(self, now: float) -> int:
-        """Classify pending flows inactive beyond ``buffer_timeout``.
-
-        Implements "when ... the buffer stops receiving packets for a
-        certain period of time" (Section 4.4.1). Returns how many flows
-        were handled.
-        """
-        expired = [
-            (flow_id, pending)
-            for flow_id, pending in list(self._pending.items())
-            if now - pending.last_arrival > self.config.buffer_timeout
-        ]
-        self._classify_pending_batch(expired, now)
-        return len(expired)
+        """Classify pending flows inactive beyond ``buffer_timeout``."""
+        return self._engine.flush_timeouts(now)
 
     def process_trace(
         self, trace: Trace, sample_interval: float = 1.0
     ) -> PipelineStats:
-        """Run a whole trace; samples the CDB size every ``sample_interval``.
-
-        Also triggers timeout flushes at each sample point, and classifies
-        any flows still pending at the end of the trace.
-        """
-        if sample_interval <= 0:
-            raise ValueError(f"sample_interval must be positive, got {sample_interval}")
-        next_sample = None
-        for packet in trace.packets:
-            self.process_packet(packet)
-            if next_sample is None:
-                next_sample = packet.timestamp + sample_interval
-            while packet.timestamp >= next_sample:
-                self.flush_timeouts(packet.timestamp)
-                self.stats.cdb_size_series.append((next_sample, len(self.cdb)))
-                next_sample += sample_interval
-        if trace.packets:
-            final = trace.packets[-1].timestamp
-            self._classify_pending_batch(list(self._pending.items()), final)
-            series = self.stats.cdb_size_series
-            if series and series[-1][0] == final:
-                # The in-loop sampler already emitted a sample at exactly
-                # the final timestamp; replace it (the drain above may have
-                # changed the CDB size) instead of appending a duplicate.
-                series[-1] = (final, len(self.cdb))
-            else:
-                series.append((final, len(self.cdb)))
-        return self.stats
-
-    # -- evaluation ------------------------------------------------------------
+        """Run a whole trace; samples the CDB size every ``sample_interval``."""
+        return self._engine.process_trace(trace, sample_interval=sample_interval)
 
     def evaluate_against(self, trace: Trace) -> dict[str, float]:
-        """Accuracy of this run's flow labels against trace ground truth.
-
-        Only flows that were classified and have ground truth count.
-        Returns overall accuracy plus per-class recall.
-        """
-        if not trace.labels:
-            raise ValueError("trace carries no ground-truth labels")
-        total = 0
-        correct = 0
-        per_class_total = {nature: 0 for nature in ALL_NATURES}
-        per_class_correct = {nature: 0 for nature in ALL_NATURES}
-        for outcome in self.stats.classified:
-            truth = trace.labels.get(outcome.key)
-            if truth is None:
-                continue
-            total += 1
-            per_class_total[truth] += 1
-            if outcome.label == truth:
-                correct += 1
-                per_class_correct[truth] += 1
-        if total == 0:
-            raise ValueError("no classified flows matched ground truth")
-        report = {"accuracy": correct / total}
-        for nature in ALL_NATURES:
-            denominator = per_class_total[nature]
-            report[f"recall_{nature}"] = (
-                per_class_correct[nature] / denominator if denominator else float("nan")
-            )
-        return report
+        """Accuracy of this run's flow labels against trace ground truth."""
+        return self._engine.evaluate_against(trace)

@@ -1,0 +1,43 @@
+"""Staged online engine: explicit, composable pipeline stages.
+
+The package splits the paper's Figure-1 engine into the stages real
+high-rate classifiers are built from (cf. ITCM and FastFlow's
+collection / classification / export pipelines):
+
+* :mod:`~repro.engine.flow_table` — pending buffers + CDB sharded by
+  flow-hash prefix;
+* :mod:`~repro.engine.deadlines`  — min-heap deadline wheel for
+  O(expired) buffer-timeout flushes;
+* :mod:`~repro.engine.batcher`    — micro-batches ready flows through
+  the vectorized ``classify_buffers`` kernels;
+* :mod:`~repro.engine.sinks`      — pluggable outcome subscribers
+  (stats, per-nature queues, callbacks);
+* :mod:`~repro.engine.engine`     — :class:`StagedEngine`, the
+  composition.
+
+``repro.core.pipeline.IustitiaEngine`` remains as a synchronous facade
+(``max_batch=1``) with the historical surface.
+"""
+
+from repro.engine.batcher import MicroBatcher, ReadyFlow
+from repro.engine.deadlines import DeadlineWheel
+from repro.engine.engine import StagedEngine
+from repro.engine.flow_table import FlowShard, ShardedFlowTable
+from repro.engine.sinks import CallbackSink, QueueSink, ResultSink, StatsSink
+from repro.engine.types import ClassifiedFlow, EngineStats, PendingFlow
+
+__all__ = [
+    "CallbackSink",
+    "ClassifiedFlow",
+    "DeadlineWheel",
+    "EngineStats",
+    "FlowShard",
+    "MicroBatcher",
+    "PendingFlow",
+    "QueueSink",
+    "ReadyFlow",
+    "ResultSink",
+    "ShardedFlowTable",
+    "StagedEngine",
+    "StatsSink",
+]

@@ -1,0 +1,76 @@
+"""Micro-batcher: accumulate ready-to-classify flows, drain in one call.
+
+PR 1 made ``classify_buffers`` 30-80x cheaper per flow than one-at-a-time
+classification, but the fill path still classified each flow the moment
+its buffer filled. The batcher closes that gap: flows whose windows are
+ready queue here, and the engine drains them through a single
+``classify_buffers`` call when either
+
+* ``max_batch`` flows have accumulated (size trigger), or
+* ``max_delay`` seconds have passed since the oldest queued flow arrived
+  (latency bound, checked against packet timestamps).
+
+``max_batch=1`` degenerates to the monolithic engine's behaviour: every
+push returns a singleton batch and nothing ever waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MicroBatcher", "ReadyFlow"]
+
+
+@dataclass(frozen=True)
+class ReadyFlow:
+    """A flow whose classification window is frozen and awaiting a drain.
+
+    The window is captured when the flow becomes ready (buffer full, FIN,
+    or timeout) — exactly the bytes the monolithic engine would have
+    classified at that moment — so batching changes *when* the model
+    runs, never *what* it sees.
+    """
+
+    flow_id: bytes
+    window: bytes
+    protocol: "str | None"
+
+
+class MicroBatcher:
+    """Size- and delay-triggered accumulator of ready flows."""
+
+    def __init__(self, max_batch: int = 1, max_delay: float = 0.05) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._queue: list[ReadyFlow] = []
+        self._oldest_enqueued: "float | None" = None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, item: ReadyFlow, now: float) -> "list[ReadyFlow] | None":
+        """Queue a ready flow; returns the batch when the size trigger fires."""
+        self._queue.append(item)
+        if self._oldest_enqueued is None:
+            self._oldest_enqueued = now
+        if len(self._queue) >= self.max_batch:
+            return self.drain()
+        return None
+
+    def due(self, now: float) -> bool:
+        """Whether the latency bound has elapsed for the oldest queued flow."""
+        return (
+            self._oldest_enqueued is not None
+            and now - self._oldest_enqueued >= self.max_delay
+        )
+
+    def drain(self) -> "list[ReadyFlow]":
+        """Take everything queued (empty list when idle)."""
+        batch = self._queue
+        self._queue = []
+        self._oldest_enqueued = None
+        return batch

@@ -1,0 +1,78 @@
+"""Deadline wheel: a lazy min-heap of per-flow buffer-timeout deadlines.
+
+The monolithic engine found timed-out flows by scanning every pending
+flow on each flush — O(pending) per call, and only at trace-sampling
+points. The wheel keeps one heap entry per (flow, deadline) and pops
+expired flows in O(expired · log n), so ``flush_timeouts`` can run as
+often as the caller likes without touching live flows.
+
+Rescheduling is lazy: a new packet for a flow pushes a fresh entry and
+records the flow's current deadline; stale heap entries are discarded
+when popped (and compacted wholesale when they outnumber live flows).
+
+Expiry is *strict*: a flow whose inactivity equals the timeout exactly is
+NOT expired — the paper's condition is ``now - t_last > timeout``, so a
+deadline fires only when ``now > deadline``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+__all__ = ["DeadlineWheel"]
+
+
+class DeadlineWheel:
+    """Min-heap of per-flow deadlines with lazy rescheduling."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, bytes]] = []
+        self._current: dict[bytes, float] = {}
+        self._seq = 0
+
+    def __len__(self) -> int:
+        """Number of flows with an active deadline (not heap entries)."""
+        return len(self._current)
+
+    def __contains__(self, flow_id: bytes) -> bool:
+        return flow_id in self._current
+
+    def deadline_of(self, flow_id: bytes) -> "float | None":
+        """The flow's active deadline, or None when unscheduled."""
+        return self._current.get(flow_id)
+
+    def schedule(self, flow_id: bytes, deadline: float) -> None:
+        """Set (or move) a flow's deadline; the old one becomes stale."""
+        self._current[flow_id] = deadline
+        self._seq += 1
+        heapq.heappush(self._heap, (deadline, self._seq, flow_id))
+        if len(self._heap) > 8 and len(self._heap) > 2 * len(self._current):
+            self._compact()
+
+    def cancel(self, flow_id: bytes) -> None:
+        """Drop a flow's deadline (no-op when unscheduled)."""
+        self._current.pop(flow_id, None)
+
+    def pop_expired(self, now: float) -> list[bytes]:
+        """Flow IDs whose deadline lies strictly before ``now``.
+
+        Popped flows are unscheduled; stale entries (superseded or
+        cancelled) are discarded along the way.
+        """
+        expired: list[bytes] = []
+        heap = self._heap
+        while heap and heap[0][0] < now:
+            deadline, _, flow_id = heapq.heappop(heap)
+            if self._current.get(flow_id) == deadline:
+                del self._current[flow_id]
+                expired.append(flow_id)
+        return expired
+
+    def _compact(self) -> None:
+        """Rebuild the heap from live deadlines only."""
+        self._seq = 0
+        self._heap = []
+        for flow_id, deadline in self._current.items():
+            self._seq += 1
+            self._heap.append((deadline, self._seq, flow_id))
+        heapq.heapify(self._heap)

@@ -1,0 +1,188 @@
+"""Sharded flow table: pending buffers + CDB partitioned by hash prefix.
+
+Section 4.5 hashes every flow to a 160-bit SHA-1 ID; the table routes
+each ID to one of ``num_shards`` shards by its leading bytes (SHA-1 is
+uniform, so prefix keying balances shards). Each :class:`FlowShard`
+owns an independent pending-buffer dict and an independent
+:class:`~repro.core.cdb.ClassificationDatabase` partition, so a later PR
+can pin shards to separate workers with no shared state but the
+classifier.
+
+Aggregate semantics match a single CDB exactly: the table (not the
+shards) counts inserts and triggers the paper's inactivity sweep across
+all shards once ``purge_trigger_flows`` inserts accumulate — per-shard
+triggers would purge at different times than the monolithic engine and
+skew the Figure-8 size series.
+
+The table also exposes the full read/counter surface of
+``ClassificationDatabase`` (``len``, ``lookup``, ``size_bits``,
+``total_*``), so existing code that held ``engine.cdb`` keeps working
+against the sharded store.
+"""
+
+from __future__ import annotations
+
+from repro.core.cdb import RECORD_BITS, CdbRecord, ClassificationDatabase
+from repro.core.labels import FlowNature
+from repro.engine.types import PendingFlow
+
+__all__ = ["FlowShard", "ShardedFlowTable"]
+
+
+class FlowShard:
+    """One partition: pending flow buffers plus a CDB slice.
+
+    The shard's CDB is created with automatic sweeps disabled
+    (``purge_trigger_flows=0``); the owning table coordinates purges
+    globally so aggregate behaviour matches one monolithic CDB.
+    """
+
+    __slots__ = ("index", "pending", "cdb")
+
+    def __init__(self, index: int, purge_coefficient: float) -> None:
+        self.index = index
+        self.pending: dict[bytes, PendingFlow] = {}
+        self.cdb = ClassificationDatabase(
+            purge_coefficient=purge_coefficient, purge_trigger_flows=0
+        )
+
+
+class ShardedFlowTable:
+    """Flow-hash-prefix-partitioned pending buffers and CDB."""
+
+    def __init__(
+        self,
+        num_shards: int = 8,
+        purge_coefficient: float = 4.0,
+        purge_trigger_flows: int = 5000,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if purge_trigger_flows < 0:
+            raise ValueError(
+                f"purge_trigger_flows must be >= 0, got {purge_trigger_flows}"
+            )
+        self.num_shards = num_shards
+        self.purge_trigger_flows = purge_trigger_flows
+        self.shards = [FlowShard(i, purge_coefficient) for i in range(num_shards)]
+        self._inserts_since_purge = 0
+        self._next_seq = 0
+
+    def shard_index(self, flow_id: bytes) -> int:
+        """Shard owning a flow ID (keyed by the 16-bit hash prefix)."""
+        return int.from_bytes(flow_id[:2], "big") % self.num_shards
+
+    def shard_of(self, flow_id: bytes) -> FlowShard:
+        """The shard owning a flow ID."""
+        return self.shards[self.shard_index(flow_id)]
+
+    # -- pending buffers -----------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Number of flows currently buffering."""
+        return sum(len(shard.pending) for shard in self.shards)
+
+    def pending_get(self, flow_id: bytes) -> "PendingFlow | None":
+        """The flow's pending state, or None."""
+        return self.shard_of(flow_id).pending.get(flow_id)
+
+    def pending_create(self, flow_id: bytes, key, now: float) -> PendingFlow:
+        """Start buffering a new flow; assigns its global arrival ``seq``."""
+        pending = PendingFlow(
+            key=key, seq=self._next_seq, first_arrival=now, last_arrival=now
+        )
+        self._next_seq += 1
+        self.shard_of(flow_id).pending[flow_id] = pending
+        return pending
+
+    def pending_pop(self, flow_id: bytes) -> "PendingFlow | None":
+        """Remove and return the flow's pending state (None when absent)."""
+        return self.shard_of(flow_id).pending.pop(flow_id, None)
+
+    def pending_items(self) -> "list[tuple[bytes, PendingFlow]]":
+        """All pending flows in global first-arrival (``seq``) order."""
+        items = [
+            (flow_id, pending)
+            for shard in self.shards
+            for flow_id, pending in shard.pending.items()
+        ]
+        items.sort(key=lambda item: item[1].seq)
+        return items
+
+    # -- CDB partition (ClassificationDatabase-compatible surface) -----------
+
+    def __len__(self) -> int:
+        return sum(len(shard.cdb) for shard in self.shards)
+
+    def __contains__(self, flow_id: bytes) -> bool:
+        return flow_id in self.shard_of(flow_id).cdb
+
+    @property
+    def size_bits(self) -> int:
+        """Total CDB storage in bits under the paper's 194-bit record model."""
+        return len(self) * RECORD_BITS
+
+    @property
+    def size_bytes(self) -> float:
+        """Total CDB storage in bytes under the 194-bit record model."""
+        return self.size_bits / 8.0
+
+    def lookup(self, flow_id: bytes) -> "FlowNature | None":
+        """Label of a flow, or None when unknown."""
+        return self.shard_of(flow_id).cdb.lookup(flow_id)
+
+    def record_of(self, flow_id: bytes) -> "CdbRecord | None":
+        """The full CDB record of a flow, or None when unknown."""
+        return self.shard_of(flow_id).cdb.record_of(flow_id)
+
+    def insert(self, flow_id: bytes, label: FlowNature, now: float) -> None:
+        """Store a classified flow; may trigger the global inactivity sweep."""
+        self.shard_of(flow_id).cdb.insert(flow_id, label, now)
+        self._inserts_since_purge += 1
+        if (
+            self.purge_trigger_flows
+            and self._inserts_since_purge >= self.purge_trigger_flows
+        ):
+            self.purge_inactive(now)
+
+    def touch(self, flow_id: bytes, now: float) -> None:
+        """Record a packet arrival for a known flow (updates lambda)."""
+        self.shard_of(flow_id).cdb.touch(flow_id, now)
+
+    def remove(self, flow_id: bytes, reason: str = "fin") -> bool:
+        """Remove a flow's CDB record; returns whether it was present."""
+        return self.shard_of(flow_id).cdb.remove(flow_id, reason=reason)
+
+    def purge_inactive(self, now: float) -> int:
+        """Run the inactivity sweep on every shard; returns total removed."""
+        removed = sum(shard.cdb.purge_inactive(now) for shard in self.shards)
+        self._inserts_since_purge = 0
+        return removed
+
+    # -- aggregate lifetime counters -----------------------------------------
+
+    @property
+    def total_inserted(self) -> int:
+        return sum(shard.cdb.total_inserted for shard in self.shards)
+
+    @property
+    def total_removed_fin(self) -> int:
+        return sum(shard.cdb.total_removed_fin for shard in self.shards)
+
+    @property
+    def total_removed_inactive(self) -> int:
+        return sum(shard.cdb.total_removed_inactive for shard in self.shards)
+
+    @property
+    def total_removed_reclassified(self) -> int:
+        return sum(shard.cdb.total_removed_reclassified for shard in self.shards)
+
+    @property
+    def removal_counts(self) -> dict[str, int]:
+        """Lifetime removals keyed by exit path (fin / inactive / reclassified)."""
+        return {
+            "fin": self.total_removed_fin,
+            "inactive": self.total_removed_inactive,
+            "reclassified": self.total_removed_reclassified,
+        }

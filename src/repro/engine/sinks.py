@@ -1,0 +1,104 @@
+"""Pluggable result sinks: where classified flows and their packets go.
+
+The monolithic engine hard-coded two destinations — per-nature
+``output_queues`` lists and a ``stats.classified`` list. The staged
+engine instead fans every outcome out to a list of :class:`ResultSink`
+subscribers:
+
+* :class:`StatsSink`   — collects :class:`ClassifiedFlow` outcomes and
+  per-class counts (what ``evaluate_against`` and the Figure benches
+  read);
+* :class:`QueueSink`   — per-nature packet queues (the paper's Figure-1
+  "high/low priority queue" forwarding);
+* :class:`CallbackSink` — invokes user callables, for wiring the engine
+  into external systems (QoS markers, IDS hand-off, message buses).
+
+Sinks see two events: ``on_flow_classified`` (once per flow, with the
+packets buffered while it awaited classification) and ``on_packet``
+(every later payload packet forwarded via a CDB hit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labels import ALL_NATURES, FlowNature
+from repro.engine.types import ClassifiedFlow
+from repro.net.packet import Packet
+
+__all__ = ["CallbackSink", "QueueSink", "ResultSink", "StatsSink"]
+
+
+class ResultSink:
+    """Subscriber interface for engine outcomes (default: ignore all).
+
+    Subclasses override whichever events they care about; unimplemented
+    events are no-ops, so sinks stay cheap to write.
+    """
+
+    def on_flow_classified(
+        self, outcome: ClassifiedFlow, packets: "list[Packet]"
+    ) -> None:
+        """A flow got its label; ``packets`` were buffered awaiting it."""
+
+    def on_packet(self, label: FlowNature, packet: Packet) -> None:
+        """A payload packet of an already-classified flow was forwarded."""
+
+
+@dataclass
+class StatsSink(ResultSink):
+    """Collects classification outcomes for evaluation and reporting."""
+
+    classified: list[ClassifiedFlow] = field(default_factory=list)
+    per_class: dict[FlowNature, int] = field(
+        default_factory=lambda: {nature: 0 for nature in ALL_NATURES}
+    )
+
+    def on_flow_classified(
+        self, outcome: ClassifiedFlow, packets: "list[Packet]"
+    ) -> None:
+        self.classified.append(outcome)
+        self.per_class[outcome.label] += 1
+
+    def buffering_delays(self) -> list[float]:
+        """Buffer-fill delays of all classified flows."""
+        return [c.buffering_delay for c in self.classified]
+
+
+class QueueSink(ResultSink):
+    """Per-nature packet queues (the Figure-1 output stage)."""
+
+    def __init__(self) -> None:
+        self.queues: dict[FlowNature, list[Packet]] = {
+            nature: [] for nature in ALL_NATURES
+        }
+
+    def on_flow_classified(
+        self, outcome: ClassifiedFlow, packets: "list[Packet]"
+    ) -> None:
+        self.queues[outcome.label].extend(packets)
+
+    def on_packet(self, label: FlowNature, packet: Packet) -> None:
+        self.queues[label].append(packet)
+
+
+class CallbackSink(ResultSink):
+    """Adapts user callables to the sink interface.
+
+    ``on_classified(outcome, packets)`` and/or ``on_packet(label,
+    packet)`` may be None to ignore that event.
+    """
+
+    def __init__(self, on_classified=None, on_packet=None) -> None:
+        self._on_classified = on_classified
+        self._on_packet = on_packet
+
+    def on_flow_classified(
+        self, outcome: ClassifiedFlow, packets: "list[Packet]"
+    ) -> None:
+        if self._on_classified is not None:
+            self._on_classified(outcome, packets)
+
+    def on_packet(self, label: FlowNature, packet: Packet) -> None:
+        if self._on_packet is not None:
+            self._on_packet(label, packet)

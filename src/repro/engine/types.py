@@ -1,0 +1,79 @@
+"""Shared datatypes of the staged engine.
+
+These used to live inside ``core/pipeline.py``'s monolithic engine; they
+are now the common vocabulary of the engine stages (flow table, deadline
+wheel, micro-batcher, sinks) and of the back-compatible facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.labels import ALL_NATURES, FlowNature
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+
+__all__ = ["ClassifiedFlow", "EngineStats", "PendingFlow"]
+
+
+@dataclass
+class PendingFlow:
+    """Per-flow state while its buffer is filling.
+
+    ``seq`` is a global first-packet arrival index: drains iterate pending
+    flows in ``seq`` order so the staged engine classifies (and draws any
+    random-skip offsets) in exactly the order the monolithic engine did.
+    ``queued`` marks a flow whose classification window has been handed to
+    the micro-batcher; late packets still append to ``packets`` so they
+    are forwarded once the batch drains, but the flow is not re-enqueued.
+    """
+
+    key: FlowKey
+    seq: int = 0
+    buffer: bytearray = field(default_factory=bytearray)
+    packets: list[Packet] = field(default_factory=list)
+    first_arrival: float = 0.0
+    last_arrival: float = 0.0
+    queued: bool = False
+
+
+@dataclass(frozen=True)
+class ClassifiedFlow:
+    """Outcome of one flow classification."""
+
+    key: FlowKey
+    label: FlowNature
+    classified_at: float
+    buffering_delay: float
+    buffered_bytes: int
+    stripped_protocol: "str | None"
+
+
+@dataclass
+class EngineStats:
+    """Counters and series collected while processing packets.
+
+    ``classified`` is bound to the engine's :class:`~repro.engine.sinks.
+    StatsSink` when one is attached (the default), so the list fills as
+    flows classify; with a custom sink set lacking a ``StatsSink`` it
+    stays empty and only the counters are maintained.
+    """
+
+    packets: int = 0
+    data_packets: int = 0
+    cdb_hits: int = 0
+    classifications: int = 0
+    unclassifiable: int = 0
+    fin_removals: int = 0
+    reclassifications: int = 0
+    per_class: dict[FlowNature, int] = field(
+        default_factory=lambda: {nature: 0 for nature in ALL_NATURES}
+    )
+    #: (timestamp, CDB size) sampled after every packet batch.
+    cdb_size_series: list[tuple[float, int]] = field(default_factory=list)
+    #: Completed classifications, in order (see class docstring).
+    classified: list[ClassifiedFlow] = field(default_factory=list)
+
+    def buffering_delays(self) -> list[float]:
+        """Buffer-fill delays of all classified flows."""
+        return [c.buffering_delay for c in self.classified]

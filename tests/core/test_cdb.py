@@ -47,6 +47,48 @@ class TestBasicOperations:
         assert len(cdb) == 1
 
 
+class TestRemovalReasons:
+    def test_default_reason_is_fin(self):
+        cdb = ClassificationDatabase()
+        cdb.insert(_fid(1), TEXT, now=0.0)
+        cdb.remove(_fid(1))
+        assert cdb.total_removed_fin == 1
+        assert cdb.total_removed_reclassified == 0
+
+    def test_reclassification_removal_not_counted_as_fin(self):
+        # The Section-4.6 defense deletes aged records to force
+        # reclassification; Figure-8's FIN share must not count them.
+        cdb = ClassificationDatabase()
+        cdb.insert(_fid(1), TEXT, now=0.0)
+        cdb.remove(_fid(1), reason="reclassified")
+        assert cdb.total_removed_fin == 0
+        assert cdb.total_removed_reclassified == 1
+
+    def test_absent_flow_counts_nothing(self):
+        cdb = ClassificationDatabase()
+        assert not cdb.remove(_fid(9), reason="reclassified")
+        assert cdb.total_removed_reclassified == 0
+
+    def test_unknown_reason_rejected(self):
+        cdb = ClassificationDatabase()
+        cdb.insert(_fid(1), TEXT, now=0.0)
+        with pytest.raises(ValueError, match="removal reason"):
+            cdb.remove(_fid(1), reason="whim")
+        assert _fid(1) in cdb  # rejected before mutating
+
+    def test_removal_counts_tracks_all_three_paths(self):
+        cdb = ClassificationDatabase(purge_trigger_flows=0)
+        for i in range(5):
+            cdb.insert(_fid(i), TEXT, now=float(i))
+        cdb.remove(_fid(0))                          # FIN/RST close
+        cdb.remove(_fid(1), reason="reclassified")   # Section-4.6 defense
+        cdb.purge_inactive(now=1000.0)               # inactivity sweep (3 left)
+        assert cdb.removal_counts == {
+            "fin": 1, "inactive": 3, "reclassified": 1
+        }
+        assert len(cdb) == 0
+
+
 class TestRecordAccounting:
     def test_194_bit_records(self):
         # 160 (SHA-1) + 32 (lambda) + 2 (label) = 194 bits per record.

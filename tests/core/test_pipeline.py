@@ -115,6 +115,28 @@ class TestTimeouts:
         assert engine.flush_timeouts(now=1.0) == 0
         assert engine.stats.classifications == 0
 
+    def test_inactivity_equal_to_timeout_does_not_expire(
+        self, engine, sample_files
+    ):
+        # Section 4.4.1's condition is strict: a flow whose inactivity
+        # EQUALS buffer_timeout has not yet "stopped receiving packets
+        # for a certain period of time".
+        engine.process_packet(_udp_packet(sample_files["text"][:20], 5.0))
+        timeout = engine.config.buffer_timeout
+        assert engine.flush_timeouts(now=5.0 + timeout) == 0
+        assert engine.stats.classifications == 0
+        assert engine.flush_timeouts(now=5.0 + timeout + 1e-6) == 1
+        assert engine.stats.classifications == 1
+
+    def test_later_packet_postpones_expiry(self, engine, sample_files):
+        data = sample_files["text"]
+        engine.process_packet(_udp_packet(data[:10], 0.0))
+        engine.process_packet(_udp_packet(data[10:20], 8.0))
+        timeout = engine.config.buffer_timeout
+        # Measured from the LAST arrival, not the first.
+        assert engine.flush_timeouts(now=timeout + 4.0) == 0
+        assert engine.flush_timeouts(now=8.0 + timeout + 1e-6) == 1
+
     def test_batched_flush_matches_scalar_classification(
         self, engine, trained_svm, sample_files
     ):
@@ -144,6 +166,44 @@ class TestTimeouts:
         assert engine.stats.classifications == 1
         assert engine.stats.unclassifiable == 1
         assert not engine._pending
+
+
+class TestCdbRemovalAttribution:
+    """Each CDB exit path lands in its own lifetime counter (Figure 8)."""
+
+    def test_fin_close_counts_as_fin(self, engine, sample_files):
+        data = sample_files["binary"]
+        engine.process_packet(_tcp_packet(data[:40], 0.0))
+        engine.process_packet(_tcp_packet(b"", 0.2, flags=FLAG_ACK | FLAG_FIN))
+        assert engine.cdb.total_removed_fin == 1
+        assert engine.cdb.total_removed_reclassified == 0
+        assert engine.cdb.total_removed_inactive == 0
+
+    def test_reclassification_not_counted_as_fin(self, trained_svm, sample_files):
+        config = IustitiaConfig(buffer_size=32, reclassify_interval=1.0)
+        engine = IustitiaEngine(trained_svm, config)
+        data = sample_files["encrypted"]
+        engine.process_packet(_udp_packet(data[:40], 0.0))
+        # A CDB hit 2s later exceeds reclassify_interval: the record is
+        # deleted (reason="reclassified") and the flow re-buffers.
+        engine.process_packet(_udp_packet(data[40:80], 2.0))
+        assert engine.stats.reclassifications == 1
+        assert engine.cdb.total_removed_reclassified == 1
+        assert engine.cdb.total_removed_fin == 0
+
+    def test_inactivity_purge_counted_separately(self, trained_svm, sample_files):
+        config = IustitiaConfig(buffer_size=32, purge_trigger_flows=2)
+        engine = IustitiaEngine(trained_svm, config)
+        data = sample_files["text"]
+        engine.process_packet(_udp_packet(data[:40], 0.0, sport=1001))
+        # The second insert, far in the future, trips the sweep and
+        # purges the first (stale) record.
+        engine.process_packet(_udp_packet(data[:40], 500.0, sport=1002))
+        assert engine.cdb.total_removed_inactive == 1
+        assert engine.cdb.total_removed_fin == 0
+        assert engine.cdb.removal_counts == {
+            "fin": 0, "inactive": 1, "reclassified": 0
+        }
 
 
 class TestTraceProcessing:

@@ -1,0 +1,73 @@
+"""Tests for the deadline wheel (O(expired) timeout flushing)."""
+
+from repro.engine.deadlines import DeadlineWheel
+
+
+def _fid(i: int) -> bytes:
+    return bytes([i]) * 20
+
+
+class TestScheduling:
+    def test_expired_pops_in_deadline_order(self):
+        wheel = DeadlineWheel()
+        wheel.schedule(_fid(1), 5.0)
+        wheel.schedule(_fid(2), 3.0)
+        wheel.schedule(_fid(3), 9.0)
+        assert wheel.pop_expired(6.0) == [_fid(2), _fid(1)]
+        assert len(wheel) == 1
+        assert _fid(3) in wheel
+
+    def test_boundary_is_strict(self):
+        # The paper's condition is now - t_last > timeout: a flow whose
+        # inactivity EQUALS the timeout must not expire.
+        wheel = DeadlineWheel()
+        wheel.schedule(_fid(1), 10.0)
+        assert wheel.pop_expired(10.0) == []
+        assert wheel.pop_expired(10.000001) == [_fid(1)]
+
+    def test_reschedule_supersedes_old_deadline(self):
+        wheel = DeadlineWheel()
+        wheel.schedule(_fid(1), 2.0)
+        wheel.schedule(_fid(1), 8.0)  # new packet arrived: deadline moves
+        assert wheel.pop_expired(5.0) == []
+        assert wheel.deadline_of(_fid(1)) == 8.0
+        assert wheel.pop_expired(9.0) == [_fid(1)]
+
+    def test_cancel_removes_flow(self):
+        wheel = DeadlineWheel()
+        wheel.schedule(_fid(1), 2.0)
+        wheel.cancel(_fid(1))
+        assert wheel.pop_expired(100.0) == []
+        assert len(wheel) == 0
+
+    def test_cancel_unknown_is_noop(self):
+        wheel = DeadlineWheel()
+        wheel.cancel(_fid(9))
+        assert len(wheel) == 0
+
+    def test_popped_flow_is_unscheduled(self):
+        wheel = DeadlineWheel()
+        wheel.schedule(_fid(1), 1.0)
+        assert wheel.pop_expired(2.0) == [_fid(1)]
+        assert wheel.pop_expired(2.0) == []
+        assert _fid(1) not in wheel
+
+
+class TestLazyCompaction:
+    def test_many_reschedules_stay_bounded(self):
+        wheel = DeadlineWheel()
+        for round_ in range(100):
+            for i in range(10):
+                wheel.schedule(_fid(i), float(round_))
+        # Compaction keeps the heap within 2x the live flow count.
+        assert len(wheel._heap) <= 2 * len(wheel) + 1
+        assert len(wheel) == 10
+        assert sorted(wheel.pop_expired(1000.0)) == sorted(_fid(i) for i in range(10))
+
+    def test_order_survives_compaction(self):
+        wheel = DeadlineWheel()
+        for i in range(20):
+            for d in (50.0, 40.0, float(i)):
+                wheel.schedule(_fid(i), d)
+        popped = wheel.pop_expired(15.0)
+        assert popped == [_fid(i) for i in range(15)]

@@ -1,0 +1,121 @@
+"""Tests for the sharded flow table (hash-prefix partitioning + global purge)."""
+
+import hashlib
+
+import pytest
+
+from repro.core.cdb import ClassificationDatabase
+from repro.core.labels import BINARY, ENCRYPTED, TEXT
+from repro.engine.flow_table import ShardedFlowTable
+from repro.net.flow import FlowKey
+
+
+def _fid(i: int) -> bytes:
+    return hashlib.sha1(i.to_bytes(4, "big")).digest()
+
+
+def _key(i: int) -> FlowKey:
+    return FlowKey(src="10.0.0.1", src_port=1000 + i, dst="10.0.0.2",
+                   dst_port=80, protocol=17)
+
+
+class TestSharding:
+    def test_prefix_routing_is_stable(self):
+        table = ShardedFlowTable(num_shards=8)
+        for i in range(50):
+            fid = _fid(i)
+            assert table.shard_index(fid) == int.from_bytes(fid[:2], "big") % 8
+            assert table.shard_of(fid) is table.shards[table.shard_index(fid)]
+
+    def test_shards_balance_roughly(self):
+        table = ShardedFlowTable(num_shards=4)
+        for i in range(400):
+            table.insert(_fid(i), TEXT, now=0.0)
+        sizes = [len(shard.cdb) for shard in table.shards]
+        assert sum(sizes) == 400
+        assert min(sizes) > 50  # SHA-1 prefixes spread uniformly
+
+    def test_single_shard_degenerates_to_one_cdb(self):
+        table = ShardedFlowTable(num_shards=1)
+        table.insert(_fid(1), BINARY, now=0.0)
+        assert len(table.shards[0].cdb) == len(table) == 1
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardedFlowTable(num_shards=0)
+
+
+class TestCdbSurface:
+    def test_insert_lookup_remove_roundtrip(self):
+        table = ShardedFlowTable(num_shards=8)
+        table.insert(_fid(1), ENCRYPTED, now=1.0)
+        assert _fid(1) in table
+        assert table.lookup(_fid(1)) is ENCRYPTED
+        assert table.record_of(_fid(1)).label is ENCRYPTED
+        assert table.remove(_fid(1))
+        assert table.lookup(_fid(1)) is None
+        assert not table.remove(_fid(1))
+
+    def test_counters_aggregate_across_shards(self):
+        table = ShardedFlowTable(num_shards=8)
+        for i in range(30):
+            table.insert(_fid(i), TEXT, now=0.0)
+        for i in range(10):
+            table.remove(_fid(i), reason="fin")
+        for i in range(10, 15):
+            table.remove(_fid(i), reason="reclassified")
+        assert table.total_inserted == 30
+        assert table.total_removed_fin == 10
+        assert table.total_removed_reclassified == 5
+        assert table.removal_counts == {
+            "fin": 10, "inactive": 0, "reclassified": 5
+        }
+        assert len(table) == 15
+        assert table.size_bits == 15 * 194
+
+    def test_touch_updates_the_owning_shard(self):
+        table = ShardedFlowTable(num_shards=8)
+        table.insert(_fid(3), TEXT, now=10.0)
+        table.touch(_fid(3), now=10.25)
+        assert table.record_of(_fid(3)).last_inter_arrival == pytest.approx(0.25)
+
+
+class TestGlobalPurgeTrigger:
+    def test_sweep_matches_single_cdb(self):
+        """Sharded purge at the global trigger == one monolithic CDB."""
+        table = ShardedFlowTable(num_shards=8, purge_trigger_flows=25)
+        single = ClassificationDatabase(purge_trigger_flows=25)
+        for i in range(120):
+            now = float(i)
+            table.insert(_fid(i), TEXT, now=now)
+            single.insert(_fid(i), TEXT, now=now)
+            assert len(table) == len(single)
+        assert table.total_removed_inactive == single.total_removed_inactive
+        assert table.total_removed_inactive > 0
+
+    def test_shard_cdbs_never_self_purge(self):
+        table = ShardedFlowTable(num_shards=4, purge_trigger_flows=0)
+        for i in range(100):
+            table.insert(_fid(i), TEXT, now=float(i))
+        # No trigger: stale records stay until an explicit sweep.
+        assert len(table) == 100
+        assert table.purge_inactive(now=1000.0) == 100
+
+
+class TestPendingPartition:
+    def test_pending_items_in_first_arrival_order(self):
+        table = ShardedFlowTable(num_shards=8)
+        for i in range(20):
+            table.pending_create(_fid(i), _key(i), now=float(i))
+        items = table.pending_items()
+        assert [p.seq for _, p in items] == sorted(p.seq for _, p in items)
+        assert [p.key for _, p in items] == [_key(i) for i in range(20)]
+        assert table.pending_count == 20
+
+    def test_pending_pop(self):
+        table = ShardedFlowTable(num_shards=2)
+        table.pending_create(_fid(1), _key(1), now=0.0)
+        popped = table.pending_pop(_fid(1))
+        assert popped.key == _key(1)
+        assert table.pending_pop(_fid(1)) is None
+        assert table.pending_count == 0

@@ -1,0 +1,83 @@
+"""Tests for the pluggable result sinks."""
+
+from repro.core.labels import ALL_NATURES, BINARY, TEXT
+from repro.engine.sinks import CallbackSink, QueueSink, ResultSink, StatsSink
+from repro.engine.types import ClassifiedFlow
+from repro.net.flow import FlowKey
+from repro.net.packet import Ipv4Header, Packet, UdpHeader
+
+
+def _packet(payload=b"data", timestamp=0.0, sport=5555):
+    return Packet(
+        ip=Ipv4Header(src="10.1.1.1", dst="10.2.2.2", protocol=17),
+        transport=UdpHeader(src_port=sport, dst_port=80),
+        payload=payload,
+        timestamp=timestamp,
+    )
+
+
+def _outcome(label=TEXT, sport=5555):
+    return ClassifiedFlow(
+        key=FlowKey(src="10.1.1.1", src_port=sport, dst="10.2.2.2",
+                    dst_port=80, protocol=17),
+        label=label,
+        classified_at=1.0,
+        buffering_delay=0.5,
+        buffered_bytes=40,
+        stripped_protocol=None,
+    )
+
+
+class TestStatsSink:
+    def test_collects_outcomes_and_per_class(self):
+        sink = StatsSink()
+        sink.on_flow_classified(_outcome(TEXT), [_packet()])
+        sink.on_flow_classified(_outcome(BINARY), [])
+        sink.on_flow_classified(_outcome(TEXT), [])
+        assert len(sink.classified) == 3
+        assert sink.per_class[TEXT] == 2
+        assert sink.per_class[BINARY] == 1
+        assert sink.buffering_delays() == [0.5, 0.5, 0.5]
+
+    def test_ignores_forwarded_packets(self):
+        sink = StatsSink()
+        sink.on_packet(TEXT, _packet())
+        assert sink.classified == []
+
+
+class TestQueueSink:
+    def test_buffered_and_forwarded_packets_share_a_queue(self):
+        sink = QueueSink()
+        buffered = [_packet(timestamp=0.0), _packet(timestamp=0.1)]
+        sink.on_flow_classified(_outcome(BINARY), buffered)
+        late = _packet(timestamp=0.5)
+        sink.on_packet(BINARY, late)
+        assert sink.queues[BINARY] == buffered + [late]
+        assert all(not sink.queues[n] for n in ALL_NATURES if n is not BINARY)
+
+
+class TestCallbackSink:
+    def test_invokes_both_callbacks(self):
+        classified, forwarded = [], []
+        sink = CallbackSink(
+            on_classified=lambda outcome, packets: classified.append(
+                (outcome.label, len(packets))
+            ),
+            on_packet=lambda label, packet: forwarded.append(label),
+        )
+        sink.on_flow_classified(_outcome(TEXT), [_packet()])
+        sink.on_packet(BINARY, _packet())
+        assert classified == [(TEXT, 1)]
+        assert forwarded == [BINARY]
+
+    def test_none_callbacks_are_noops(self):
+        sink = CallbackSink()
+        sink.on_flow_classified(_outcome(), [])
+        sink.on_packet(TEXT, _packet())
+
+
+class TestBaseSink:
+    def test_base_class_ignores_everything(self):
+        sink = ResultSink()
+        sink.on_flow_classified(_outcome(), [_packet()])
+        sink.on_packet(TEXT, _packet())

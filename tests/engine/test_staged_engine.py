@@ -1,0 +1,204 @@
+"""Behavioural tests for StagedEngine's micro-batched fill path."""
+
+import pytest
+
+from repro.core.config import IustitiaConfig
+from repro.core.labels import ALL_NATURES
+from repro.engine import CallbackSink, QueueSink, StagedEngine, StatsSink
+from repro.net.packet import (
+    FLAG_ACK,
+    FLAG_FIN,
+    Ipv4Header,
+    Packet,
+    TcpHeader,
+    UdpHeader,
+)
+
+
+def _udp_packet(payload, timestamp, sport=5555):
+    return Packet(
+        ip=Ipv4Header(src="10.1.1.1", dst="10.2.2.2", protocol=17),
+        transport=UdpHeader(src_port=sport, dst_port=80),
+        payload=payload,
+        timestamp=timestamp,
+    )
+
+
+def _tcp_packet(payload, timestamp, flags=FLAG_ACK, sport=6666):
+    return Packet(
+        ip=Ipv4Header(src="10.1.1.1", dst="10.2.2.2", protocol=6),
+        transport=TcpHeader(src_port=sport, dst_port=80, flags=flags),
+        payload=payload,
+        timestamp=timestamp,
+    )
+
+
+def _engine(trained_svm, max_batch, max_delay=10.0, **kwargs):
+    return StagedEngine(
+        trained_svm,
+        IustitiaConfig(buffer_size=32),
+        max_batch=max_batch,
+        max_delay=max_delay,
+        **kwargs,
+    )
+
+
+class TestBatchAccumulation:
+    def test_full_buffers_wait_for_the_batch(self, trained_svm, sample_files):
+        engine = _engine(trained_svm, max_batch=3)
+        data = sample_files["text"]
+        assert engine.process_packet(_udp_packet(data[:40], 0.0, sport=1001)) is None
+        assert engine.process_packet(_udp_packet(data[:40], 0.1, sport=1002)) is None
+        assert engine.stats.classifications == 0
+        assert len(engine.batcher) == 2
+        # The third ready flow trips the size trigger: all three classify.
+        label = engine.process_packet(_udp_packet(data[:40], 0.2, sport=1003))
+        assert label is not None
+        assert engine.stats.classifications == 3
+        assert len(engine.batcher) == 0
+
+    def test_packet_clock_drains_overdue_batch(self, trained_svm, sample_files):
+        engine = _engine(trained_svm, max_batch=100, max_delay=0.5)
+        data = sample_files["binary"]
+        engine.process_packet(_udp_packet(data[:40], 0.0, sport=1001))
+        assert engine.stats.classifications == 0
+        # An unrelated packet 0.6s later advances the clock past max_delay.
+        engine.process_packet(_udp_packet(b"x", 0.6, sport=2000))
+        assert engine.stats.classifications == 1
+
+    def test_late_packets_of_queued_flow_are_forwarded(
+        self, trained_svm, sample_files
+    ):
+        queue_sink = QueueSink()
+        engine = _engine(
+            trained_svm, max_batch=2, sinks=[StatsSink(), queue_sink]
+        )
+        data = sample_files["encrypted"]
+        engine.process_packet(_udp_packet(data[:40], 0.0, sport=1001))
+        # Queued, not yet classified: a late packet keeps accumulating.
+        engine.process_packet(_udp_packet(data[40:60], 0.1, sport=1001))
+        assert engine.stats.classifications == 0
+        engine.process_packet(_udp_packet(data[:40], 0.2, sport=1002))  # trips batch
+        assert engine.stats.classifications == 2
+        label = engine.stats.classified[0].label
+        # Both packets of the first flow reached its output queue.
+        assert sum(1 for p in queue_sink.queues[label]
+                   if p.transport.src_port == 1001) == 2
+
+    def test_fin_forces_immediate_drain(self, trained_svm, sample_files):
+        engine = _engine(trained_svm, max_batch=100)
+        data = sample_files["text"]
+        engine.process_packet(_udp_packet(data[:40], 0.0, sport=1001))
+        engine.process_packet(_tcp_packet(data[:20], 0.1, sport=7001))
+        assert engine.stats.classifications == 0
+        # FIN needs its flow's label now: the whole batch drains.
+        label = engine.process_packet(
+            _tcp_packet(b"", 0.2, flags=FLAG_ACK | FLAG_FIN, sport=7001)
+        )
+        assert label is not None
+        assert engine.stats.classifications == 2
+        assert engine.stats.fin_removals == 1
+
+    def test_finish_drains_queued_and_pending(self, trained_svm, sample_files):
+        engine = _engine(trained_svm, max_batch=100)
+        data = sample_files["binary"]
+        engine.process_packet(_udp_packet(data[:40], 0.0, sport=1001))  # queued
+        engine.process_packet(_udp_packet(data[:10], 0.1, sport=1002))  # pending
+        engine.finish(now=5.0)
+        assert engine.stats.classifications == 2
+        assert engine.table.pending_count == 0
+        assert len(engine.batcher) == 0
+
+
+class TestTimeoutPath:
+    def test_flush_timeouts_is_wheel_driven(self, trained_svm, sample_files):
+        engine = _engine(trained_svm, max_batch=1, max_delay=0.0)
+        engine.process_packet(_udp_packet(sample_files["text"][:20], 0.0))
+        assert len(engine.wheel) == 1
+        assert engine.flush_timeouts(now=100.0) == 1
+        assert engine.stats.classifications == 1
+        assert len(engine.wheel) == 0
+
+    def test_boundary_inactivity_does_not_expire(self, trained_svm, sample_files):
+        # Inactivity EXACTLY equal to buffer_timeout (10s default) must
+        # not expire the flow — the paper's test is strictly greater.
+        engine = _engine(trained_svm, max_batch=1, max_delay=0.0)
+        engine.process_packet(_udp_packet(sample_files["text"][:20], 0.0))
+        assert engine.flush_timeouts(now=10.0) == 0
+        assert engine.stats.classifications == 0
+        assert engine.flush_timeouts(now=10.0001) == 1
+        assert engine.stats.classifications == 1
+
+    def test_queued_flows_are_off_the_wheel(self, trained_svm, sample_files):
+        engine = _engine(trained_svm, max_batch=100)
+        engine.process_packet(_udp_packet(sample_files["text"][:40], 0.0))
+        # Ready and queued: its deadline is cancelled, so a late flush
+        # cannot double-classify it...
+        assert len(engine.wheel) == 0
+        assert engine.flush_timeouts(now=100.0) == 0
+        # ...but the flush's latency check drained the overdue batch.
+        assert engine.stats.classifications == 1
+
+
+class TestSinkFanout:
+    def test_all_sinks_see_every_outcome(self, trained_svm, sample_files):
+        seen = []
+        engine = _engine(
+            trained_svm,
+            max_batch=1,
+            max_delay=0.0,
+            sinks=[
+                StatsSink(),
+                CallbackSink(on_classified=lambda o, p: seen.append(o.label)),
+            ],
+        )
+        engine.process_packet(_udp_packet(sample_files["text"][:40], 0.0))
+        assert seen == [engine.stats.classified[0].label]
+        assert engine.stats.per_class[seen[0]] == 1
+
+    def test_without_stats_sink_counters_still_work(
+        self, trained_svm, sample_files
+    ):
+        engine = _engine(
+            trained_svm, max_batch=1, max_delay=0.0, sinks=[QueueSink()]
+        )
+        engine.process_packet(_udp_packet(sample_files["text"][:40], 0.0))
+        assert engine.stats.classifications == 1
+        assert engine.stats.classified == []  # no StatsSink attached
+
+    def test_cdb_hit_packets_reach_on_packet(self, trained_svm, sample_files):
+        forwarded = []
+        engine = _engine(
+            trained_svm,
+            max_batch=1,
+            max_delay=0.0,
+            sinks=[CallbackSink(on_packet=lambda lbl, p: forwarded.append(lbl))],
+        )
+        data = sample_files["binary"]
+        engine.process_packet(_udp_packet(data[:40], 0.0))
+        engine.process_packet(_udp_packet(data[40:60], 0.1))
+        assert engine.stats.cdb_hits == 1
+        assert len(forwarded) == 1
+
+
+class TestTraceAccuracy:
+    @pytest.mark.parametrize("max_batch", [1, 16])
+    def test_batched_engine_accuracy_in_paper_band(
+        self, trained_svm, small_trace, max_batch
+    ):
+        engine = StagedEngine(
+            trained_svm,
+            IustitiaConfig(buffer_size=32),
+            max_batch=max_batch,
+            max_delay=0.1,
+        )
+        stats = engine.process_trace(small_trace)
+        assert stats.packets == len(small_trace)
+        assert sum(stats.per_class.values()) == stats.classifications
+        assert engine.evaluate_against(small_trace)["accuracy"] > 0.75
+
+    def test_default_knobs_work(self, trained_svm, small_trace):
+        engine = StagedEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        engine.process_trace(small_trace)
+        assert engine.stats.classifications > 0
+        assert all(nature in engine.stats.per_class for nature in ALL_NATURES)

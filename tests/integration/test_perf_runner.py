@@ -22,6 +22,7 @@ BENCH_NAMES = (
 
 def test_run_perf_tiny_writes_json(tmp_path):
     out = tmp_path / "bench.json"
+    engine_out = tmp_path / "bench_engine.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
@@ -33,6 +34,8 @@ def test_run_perf_tiny_writes_json(tmp_path):
             "--tiny",
             "--out",
             str(out),
+            "--engine-out",
+            str(engine_out),
         ],
         capture_output=True,
         text=True,
@@ -50,3 +53,15 @@ def test_run_perf_tiny_writes_json(tmp_path):
     # The runner refuses to time paths that diverge; the recorded
     # extraction error bound must hold on the tiny corpus too.
     assert results["extraction"]["max_abs_diff"] <= 1e-12
+
+    # Engine fill-path throughput sweep (BENCH_engine.json payload).
+    engine_results = json.loads(engine_out.read_text())
+    sweep = engine_results["engine_throughput"]
+    assert sweep["batch_sizes"] == [1, 8, 32]
+    for max_batch in sweep["batch_sizes"]:
+        entry = sweep["runs"][str(max_batch)]
+        assert entry["seconds"] > 0
+        assert entry["packets_per_s"] > 0
+    # No timing thresholds at tiny scale, but the field must exist and
+    # batching must never have LOST labels (validated in-runner).
+    assert sweep["speedup_32_vs_1"] > 0
