@@ -16,7 +16,12 @@ It also measures the staged engine's *fill-path* throughput — packets/sec
 through ``StagedEngine.process_trace`` on a one-packet-per-flow trace —
 across a ``max_batch`` sweep, and writes that to ``BENCH_engine.json``:
 ``max_batch=1`` is the monolithic engine's classify-on-fill behaviour,
-larger batches ride the vectorized kernels.
+larger batches ride the vectorized kernels. Two telemetry-era numbers
+ride along in the same file: the instrumentation overhead (fill-path
+throughput with the metrics registry on vs off, acceptance budget <5%)
+and the paper's Section-5 ``delay_ratio`` — mean per-flow classification
+wall-clock over the mean packet inter-arrival of a synthetic gateway
+trace (the paper reports ~0.1).
 
 Every speedup is validated for output equivalence before it is timed.
 Seeds are fixed; only the wall-clock numbers vary between machines.
@@ -31,13 +36,15 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import statistics
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.classifier import IustitiaClassifier
-from repro.core.config import IustitiaConfig
+from repro.core.config import EngineConfig, IustitiaConfig
+from repro.core.delay import delay_inter_arrival_ratio, mean_inter_arrival
 from repro.core.entropy_vector import entropy_vector, entropy_vectors_batch
 from repro.core.features import FULL_FEATURES
 from repro.core.labels import BINARY, ENCRYPTED, TEXT
@@ -45,6 +52,7 @@ from repro.data.binarygen import generate_binary_file
 from repro.data.cryptogen import generate_encrypted_file
 from repro.data.textgen import generate_text_file
 from repro.engine import StagedEngine, StatsSink
+from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 from repro.ml.svm.dagsvm import DagSvmClassifier
 from repro.ml.svm.kernels import RbfKernel
 from repro.ml.tree.cart import DecisionTreeClassifier
@@ -251,14 +259,17 @@ def bench_engine_throughput(
     classifier = IustitiaClassifier(model=model, buffer_size=32)
     classifier.fit_files(files, labels)
     trace = fill_path_trace(n_flows, payload_bytes, seed + 1)
-    config = IustitiaConfig(buffer_size=32)
+    pipeline = IustitiaConfig(buffer_size=32)
 
-    def run(max_batch: int) -> StagedEngine:
+    def run(max_batch: int, telemetry: bool = True) -> StagedEngine:
         engine = StagedEngine(
             classifier,
-            config,
-            max_batch=max_batch,
-            max_delay=1e9,  # size-triggered only: isolate the batching knob
+            EngineConfig(
+                max_batch=max_batch,
+                max_delay=1e9,  # size-triggered only: isolate the batching knob
+                telemetry=telemetry,
+                pipeline=pipeline,
+            ),
             sinks=[StatsSink()],
         )
         engine.process_trace(trace, sample_interval=1e9)
@@ -284,6 +295,56 @@ def bench_engine_throughput(
     base = runs[str(batch_sizes[0])]["packets_per_s"]
     for entry in runs.values():
         entry["speedup_vs_unbatched"] = entry["packets_per_s"] / base
+
+    # Instrumentation overhead: same fill path at the largest batch size
+    # with the metrics registry bound vs telemetry=False (no instruments).
+    # Engines are built outside the timed region (instrument creation is
+    # one-time setup, not fill-path cost). Each round times one on-run
+    # and one off-run back to back, alternating order, and the overhead
+    # is the median of the per-round ratios: back-to-back pairing and
+    # the median make the estimate robust to clock-speed drift and noisy
+    # neighbours, which best-of-N on each arm is not (one lucky off
+    # round fabricates overhead).
+    probe_batch = batch_sizes[-1]
+
+    def probe_engine(telemetry: bool) -> StagedEngine:
+        return StagedEngine(
+            classifier,
+            EngineConfig(
+                max_batch=probe_batch,
+                max_delay=1e9,
+                telemetry=telemetry,
+                pipeline=pipeline,
+            ),
+            sinks=[StatsSink()],
+        )
+
+    def timed_run(engine: StagedEngine) -> float:
+        start = time.perf_counter()
+        engine.process_trace(trace, sample_interval=1e9)
+        return time.perf_counter() - start
+
+    ratios = []
+    on_s = off_s = float("inf")
+    for round_index in range(max(8 * repeat, 40)):
+        engine_off = probe_engine(telemetry=False)
+        engine_on = probe_engine(telemetry=True)
+        if round_index % 2 == 0:
+            off_sample = timed_run(engine_off)
+            on_sample = timed_run(engine_on)
+        else:
+            on_sample = timed_run(engine_on)
+            off_sample = timed_run(engine_off)
+        ratios.append(on_sample / off_sample)
+        on_s = min(on_s, on_sample)
+        off_s = min(off_s, off_sample)
+    telemetry_overhead = {
+        "max_batch": probe_batch,
+        "telemetry_on_s": on_s,
+        "telemetry_off_s": off_s,
+        "overhead_fraction": statistics.median(ratios) - 1.0,
+    }
+
     return {
         "model": model,
         "n_flows": n_flows,
@@ -291,6 +352,52 @@ def bench_engine_throughput(
         "payload_bytes": payload_bytes,
         "batch_sizes": list(batch_sizes),
         "runs": runs,
+        "telemetry_overhead": telemetry_overhead,
+    }
+
+
+def bench_delay_ratio(
+    n_flows: int,
+    per_class: int,
+    seed: int,
+    model: str = "svm",
+    duration: float = 60.0,
+) -> dict:
+    """Classification-delay / inter-arrival ratio on a gateway trace.
+
+    The paper's Section-5 claim: mean per-flow classification wall-clock
+    stays around a tenth of the mean packet inter-arrival at the
+    observation point. The numerator comes from the engine's own
+    telemetry (``engine_classify_batch_seconds`` total over classified
+    flows); the denominator from the trace.
+    """
+    files, labels = labelled_training_files(per_class, 2048, seed)
+    classifier = IustitiaClassifier(model=model, buffer_size=32)
+    classifier.fit_files(files, labels)
+    trace = generate_gateway_trace(
+        GatewayTraceConfig(n_flows=n_flows, duration=duration, seed=seed)
+    )
+    engine = StagedEngine(
+        classifier,
+        EngineConfig(pipeline=IustitiaConfig(buffer_size=32)),
+        sinks=[StatsSink()],
+    )
+    stats = engine.process_trace(trace, sample_interval=1e9)
+    if stats.classifications == 0:
+        raise AssertionError("delay-ratio trace produced no classifications")
+    snapshot = engine.metrics.snapshot()
+    classify_wall_s = snapshot["engine_classify_batch_seconds"]["sum"]
+    mean_delay_s = classify_wall_s / stats.classifications
+    inter_arrival_s = mean_inter_arrival(trace)
+    return {
+        "model": model,
+        "n_flows": n_flows,
+        "n_packets": len(trace),
+        "classifications": stats.classifications,
+        "classify_wall_s": classify_wall_s,
+        "mean_classify_delay_s": mean_delay_s,
+        "mean_inter_arrival_s": inter_arrival_s,
+        "delay_ratio": delay_inter_arrival_ratio(mean_delay_s, trace),
     }
 
 
@@ -329,6 +436,8 @@ def collect_engine_results(
     batch_sizes: "tuple[int, ...]" = (1, 8, 32),
     repeat: int = 3,
     seed: int = SEED,
+    delay_flows: int = 300,
+    delay_duration: float = 60.0,
 ) -> dict:
     """Engine throughput sweep, as the ``BENCH_engine.json`` payload."""
     results = {
@@ -342,12 +451,20 @@ def collect_engine_results(
         "engine_throughput": bench_engine_throughput(
             n_flows, payload_bytes, per_class, batch_sizes, repeat, seed
         ),
+        "classification_delay": bench_delay_ratio(
+            delay_flows, per_class, seed, duration=delay_duration
+        ),
     }
     runs = results["engine_throughput"]["runs"]
     if "1" in runs and "32" in runs:
         results["engine_throughput"]["speedup_32_vs_1"] = (
             runs["32"]["packets_per_s"] / runs["1"]["packets_per_s"]
         )
+    # Headline numbers at the top level, where CI and readers look first.
+    results["delay_ratio"] = results["classification_delay"]["delay_ratio"]
+    results["telemetry_overhead_fraction"] = (
+        results["engine_throughput"]["telemetry_overhead"]["overhead_fraction"]
+    )
     return results
 
 
@@ -363,6 +480,8 @@ def main(argv: "list[str] | None" = None) -> dict:
     parser.add_argument("--e2e-per-class", type=int, default=30)
     parser.add_argument("--engine-flows", type=int, default=600)
     parser.add_argument("--engine-payload-bytes", type=int, default=40)
+    parser.add_argument("--delay-flows", type=int, default=300)
+    parser.add_argument("--delay-duration", type=float, default=60.0)
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--seed", type=int, default=SEED)
     parser.add_argument(
@@ -380,6 +499,7 @@ def main(argv: "list[str] | None" = None) -> dict:
         args.cart_rows, args.dagsvm_rows = 64, 16
         args.e2e_buffers, args.e2e_per_class = 8, 4
         args.engine_flows = 48
+        args.delay_flows, args.delay_duration = 40, 10.0
         args.repeat = 1
     results = collect_results(
         n_buffers=args.buffers,
@@ -406,6 +526,8 @@ def main(argv: "list[str] | None" = None) -> dict:
         per_class=args.e2e_per_class,
         repeat=args.repeat,
         seed=args.seed,
+        delay_flows=args.delay_flows,
+        delay_duration=args.delay_duration,
     )
     args.engine_out.write_text(json.dumps(engine_results, indent=2) + "\n")
     for max_batch, entry in engine_results["engine_throughput"]["runs"].items():
@@ -414,6 +536,14 @@ def main(argv: "list[str] | None" = None) -> dict:
             f"{entry['packets_per_s']:,.0f} packets/s "
             f"({entry['speedup_vs_unbatched']:.1f}x)"
         )
+    overhead = engine_results["telemetry_overhead_fraction"]
+    print(f"telemetry overhead on the fill path: {overhead:+.1%}")
+    delay = engine_results["classification_delay"]
+    print(
+        f"classification delay: {delay['mean_classify_delay_s'] * 1e6:,.0f}us "
+        f"mean vs {delay['mean_inter_arrival_s'] * 1e6:,.0f}us inter-arrival "
+        f"(ratio {engine_results['delay_ratio']:.3f})"
+    )
     print(f"wrote {args.engine_out}")
     results["engine"] = engine_results
     return results

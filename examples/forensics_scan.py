@@ -23,13 +23,13 @@ from repro import (
     ENCRYPTED,
     TEXT,
     GatewayTraceConfig,
-    IustitiaClassifier,
     IustitiaConfig,
     IustitiaEngine,
     Trace,
     build_corpus,
     generate_gateway_trace,
     read_pcap,
+    train,
     write_pcap,
 )
 from repro.net.flow import assemble_flows
@@ -53,8 +53,7 @@ def main() -> None:
         replay = Trace(packets=read_pcap(pcap_path), labels=dict(trace.labels))
 
     corpus = build_corpus(per_class=80, seed=53)
-    classifier = IustitiaClassifier(model="svm", buffer_size=32)
-    classifier.fit_corpus(corpus)
+    classifier = train(corpus, model="svm", buffer_size=32)
     engine = IustitiaEngine(classifier, IustitiaConfig(buffer_size=32))
     engine.process_trace(replay)
     labels = {c.key: c.label for c in engine.stats.classified}

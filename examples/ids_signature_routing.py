@@ -25,11 +25,11 @@ from repro import (
     ENCRYPTED,
     TEXT,
     GatewayTraceConfig,
-    IustitiaClassifier,
     IustitiaConfig,
     IustitiaEngine,
     build_corpus,
     generate_gateway_trace,
+    train,
 )
 from repro.net.flow import assemble_flows
 
@@ -75,8 +75,7 @@ def inject_attacks(flows, rng) -> dict:
 def main() -> None:
     print("training classifier and generating traffic...")
     corpus = build_corpus(per_class=80, seed=23)
-    classifier = IustitiaClassifier(model="svm", buffer_size=32)
-    classifier.fit_corpus(corpus)
+    classifier = train(corpus, model="svm", buffer_size=32)
     trace = generate_gateway_trace(
         GatewayTraceConfig(n_flows=250, duration=60.0, seed=29,
                            app_header_probability=0.0)

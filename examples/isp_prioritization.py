@@ -20,11 +20,11 @@ from repro import (
     BINARY,
     TEXT,
     GatewayTraceConfig,
-    IustitiaClassifier,
     IustitiaConfig,
     IustitiaEngine,
     build_corpus,
     generate_gateway_trace,
+    train,
 )
 from repro.core.delay import BufferingDelayModel
 
@@ -40,8 +40,7 @@ CUSTOMERS = {
 def main() -> None:
     print("training the shared classifier (SVM, b = 32)...")
     corpus = build_corpus(per_class=80, seed=11)
-    classifier = IustitiaClassifier(model="svm", buffer_size=32)
-    classifier.fit_corpus(corpus)
+    classifier = train(corpus, model="svm", buffer_size=32)
 
     for customer, (policy, mix) in CUSTOMERS.items():
         print(f"\n=== {customer} link ===")

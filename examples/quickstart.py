@@ -5,24 +5,18 @@ Walks the public API end to end:
 
 1. build a synthetic labelled corpus (the paper's file pool);
 2. train the Iustitia classifier (SVM-RBF via DAGSVM, first-32-bytes
-   training — the paper's headline configuration);
+   training — the paper's headline configuration) via ``repro.train``;
 3. classify individual byte buffers;
-4. run the online engine over a synthetic gateway trace and score it
-   against ground truth.
+4. run the online engine (``repro.open_engine``) over a synthetic
+   gateway trace, score it against ground truth, and read the engine's
+   telemetry.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import (
-    GatewayTraceConfig,
-    IustitiaClassifier,
-    IustitiaConfig,
-    IustitiaEngine,
-    build_corpus,
-    generate_gateway_trace,
-)
+import repro
 from repro.data.binarygen import generate_binary_file
 from repro.data.cryptogen import generate_encrypted_file
 from repro.data.textgen import generate_text_file
@@ -31,7 +25,7 @@ from repro.data.textgen import generate_text_file
 def main() -> None:
     # 1. A labelled corpus: 80 files per class, 2-16 KB each.
     print("building corpus...")
-    corpus = build_corpus(per_class=80, seed=42)
+    corpus = repro.build_corpus(per_class=80, seed=42)
     counts = corpus.class_counts()
     print(f"  {len(corpus)} files: " + ", ".join(
         f"{count} {nature}" for nature, count in counts.items()
@@ -40,8 +34,7 @@ def main() -> None:
     # 2. Train the paper's headline classifier: SVM with RBF kernel
     #    (gamma=50, C=1000), features {h1, h2, h3, h5}, buffer b = 32.
     print("training SVM classifier (b = 32)...")
-    classifier = IustitiaClassifier(model="svm", buffer_size=32)
-    classifier.fit_corpus(corpus)
+    classifier = repro.train(corpus, model="svm", buffer_size=32)
 
     # 3. Classify raw byte buffers.
     rng = np.random.default_rng(7)
@@ -55,13 +48,17 @@ def main() -> None:
         nature = classifier.classify_file(data)
         print(f"  {description:20s} -> {nature}")
 
-    # 4. The online engine (Figure 1 of the paper) over a gateway trace.
+    # 4. The online engine (Figure 1 of the paper) over a gateway trace,
+    #    with per-nature output queues attached as a result sink.
     print("running the online engine over a 300-flow gateway trace...")
-    trace = generate_gateway_trace(
-        GatewayTraceConfig(n_flows=300, duration=60.0, seed=3,
-                           app_header_probability=0.0)
+    trace = repro.generate_gateway_trace(
+        repro.GatewayTraceConfig(n_flows=300, duration=60.0, seed=3,
+                                 app_header_probability=0.0)
     )
-    engine = IustitiaEngine(classifier, IustitiaConfig(buffer_size=32))
+    queues = repro.QueueSink()
+    engine = repro.open_engine(
+        classifier, repro.EngineConfig(max_batch=32), sink=queues
+    )
     stats = engine.process_trace(trace)
     report = engine.evaluate_against(trace)
 
@@ -69,8 +66,16 @@ def main() -> None:
     print(f"  flows classified:    {stats.classifications}")
     print(f"  CDB hits (fast path): {stats.cdb_hits}")
     print(f"  accuracy vs ground truth: {report['accuracy']:.1%}")
-    for nature, queue in engine.output_queues.items():
+    for nature, queue in queues.queues.items():
         print(f"  output queue [{nature}]: {len(queue)} packets")
+
+    # 5. The engine instruments itself: snapshot the telemetry.
+    snap = engine.metrics.snapshot()
+    delay = snap["engine_classification_delay_seconds"]
+    print(f"  mean classification delay: {delay['mean'] * 1e3:.2f} ms "
+          f"(from the engine's own histogram)")
+    print(f"  CDB footprint: {snap['cdb_record_bytes']:.0f} B "
+          f"({snap['cdb_flows']:.0f} flows x 194 bits)")
 
 
 if __name__ == "__main__":

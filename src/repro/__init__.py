@@ -5,30 +5,34 @@ entropy vector of their first bytes, following Khakpour & Liu, *"Iustitia:
 An Information Theoretical Approach to High-speed Flow Nature
 Identification"*, ICDCS 2009.
 
-Quickstart::
+Quickstart (the stable facade — see :mod:`repro.api`)::
 
-    from repro import IustitiaClassifier, IustitiaEngine, build_corpus
-    from repro import generate_gateway_trace
+    import repro
 
-    corpus = build_corpus(per_class=100, seed=7)
-    clf = IustitiaClassifier(model="svm", buffer_size=32).fit_corpus(corpus)
-    engine = IustitiaEngine(clf)
-    stats = engine.process_trace(generate_gateway_trace())
+    corpus = repro.build_corpus(per_class=100, seed=7)
+    clf = repro.train(corpus, model="svm", buffer_size=32)
+    engine = repro.open_engine(clf, repro.EngineConfig(max_batch=32))
+    trace = repro.generate_gateway_trace()
+    stats = engine.process_trace(trace)
     print(stats.classifications, engine.evaluate_against(trace))
+    print(repro.render_text(engine.metrics))   # telemetry scrape
 
 Subpackages: ``repro.core`` (entropy vectors, estimation, classifier,
-CDB, pipeline), ``repro.ml`` (CART, SVM/SMO/DAGSVM), ``repro.streaming``
+CDB, pipeline), ``repro.engine`` (staged online engine), ``repro.obs``
+(telemetry), ``repro.ml`` (CART, SVM/SMO/DAGSVM), ``repro.streaming``
 (AMS / stream-entropy estimation), ``repro.net`` (packets, flows, pcap,
 trace generation), ``repro.data`` (synthetic corpus), ``repro.analysis``
 (KL/JSD divergences), ``repro.experiments`` (benchmark harness).
 """
 
 from repro.analysis import jensen_shannon_divergence, kl_divergence
+from repro.api import load_model, open_engine, save_model, train
 from repro.core import (
     BINARY,
     ENCRYPTED,
     TEXT,
     ClassificationDatabase,
+    EngineConfig,
     EntropyEstimator,
     EntropyVector,
     FeatureSet,
@@ -51,6 +55,7 @@ from repro.data import Corpus, LabeledFile, build_corpus
 from repro.engine import (
     CallbackSink,
     ClassifiedFlow,
+    MetricsSink,
     QueueSink,
     ResultSink,
     StagedEngine,
@@ -66,29 +71,44 @@ from repro.net import (
     read_pcap,
     write_pcap,
 )
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    render_text,
+    validate_text,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BINARY",
     "CallbackSink",
+    "ClassificationDatabase",
     "ClassifiedFlow",
     "Corpus",
-    "ClassificationDatabase",
+    "Counter",
     "DagSvmClassifier",
     "DecisionTreeClassifier",
     "ENCRYPTED",
+    "EngineConfig",
     "EntropyEstimator",
     "EntropyVector",
     "FULL_FEATURES",
     "FeatureSet",
     "FlowKey",
     "FlowNature",
+    "Gauge",
     "GatewayTraceConfig",
+    "Histogram",
     "IustitiaClassifier",
     "IustitiaConfig",
     "IustitiaEngine",
     "LabeledFile",
+    "MetricsRegistry",
+    "MetricsSink",
     "PHI_CART",
     "PHI_CART_PRIME",
     "PHI_SVM",
@@ -99,6 +119,7 @@ __all__ = [
     "StagedEngine",
     "StatsSink",
     "TEXT",
+    "Timer",
     "Trace",
     "TrainingMethod",
     "build_corpus",
@@ -107,6 +128,12 @@ __all__ = [
     "jensen_shannon_divergence",
     "kgram_entropy",
     "kl_divergence",
+    "load_model",
+    "open_engine",
     "read_pcap",
+    "render_text",
+    "save_model",
+    "train",
+    "validate_text",
     "write_pcap",
 ]

@@ -1,0 +1,142 @@
+"""The stable public facade of the Iustitia reproduction.
+
+Four calls cover the whole workflow, so user code never imports from
+``repro.core.*`` or ``repro.engine.*`` directly::
+
+    import repro
+
+    corpus = repro.build_corpus(per_class=100, seed=7)
+    clf = repro.train(corpus, model="svm", buffer_size=32)
+    repro.save_model(clf, "model.json")
+
+    engine = repro.open_engine(clf, repro.EngineConfig(max_batch=32))
+    stats = engine.process_trace(repro.generate_gateway_trace())
+    print(repro.render_text(engine.metrics))      # telemetry scrape
+
+* :func:`train` — fit an :class:`IustitiaClassifier` on a labelled
+  corpus;
+* :func:`save_model` / :func:`load_model` — JSON persistence (never
+  pickle: models cross network boundaries);
+* :func:`open_engine` — build a :class:`StagedEngine` from one
+  :class:`EngineConfig`, optionally attaching result sinks (any object
+  satisfying the :class:`~repro.engine.sinks.ResultSink` protocol) and
+  a shared :class:`~repro.obs.MetricsRegistry`.
+
+Everything here is re-exported at the top level (``repro.train`` etc.)
+and covered by the audited ``repro.__all__``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.classifier import IustitiaClassifier, TrainingMethod
+from repro.core.config import EngineConfig, IustitiaConfig
+from repro.core.estimation import EntropyEstimator
+from repro.core.features import PHI_SVM_PRIME, FeatureSet
+from repro.engine.engine import StagedEngine
+from repro.engine.sinks import ResultSink, StatsSink
+from repro.ml.persistence import load_classifier, save_classifier
+from repro.obs import MetricsRegistry
+
+__all__ = ["load_model", "open_engine", "save_model", "train"]
+
+
+def train(
+    corpus,
+    *,
+    model: str = "svm",
+    buffer_size: int = 32,
+    feature_set: "FeatureSet | None" = None,
+    training: TrainingMethod = TrainingMethod.FIRST_B,
+    header_threshold: int = 0,
+    gamma: float = 50.0,
+    C: float = 1000.0,
+    estimator: "EntropyEstimator | None" = None,
+    rng: "np.random.Generator | None" = None,
+) -> IustitiaClassifier:
+    """Fit a flow-nature classifier on a labelled corpus.
+
+    ``corpus`` is a :class:`repro.data.Corpus` or any iterable of
+    :class:`repro.data.LabeledFile`. Defaults reproduce the paper's
+    headline model: SVM-RBF (gamma=50, C=1000) over the primed SVM
+    feature set, trained on each file's first ``buffer_size`` bytes.
+    Returns the fitted classifier.
+    """
+    classifier = IustitiaClassifier(
+        model=model,
+        feature_set=feature_set if feature_set is not None else PHI_SVM_PRIME,
+        buffer_size=buffer_size,
+        training=training,
+        header_threshold=header_threshold,
+        gamma=gamma,
+        C=C,
+        estimator=estimator,
+        rng=rng,
+    )
+    return classifier.fit_corpus(corpus)
+
+
+def save_model(classifier: IustitiaClassifier, path) -> None:
+    """Write a fitted classifier (model + config) to ``path`` as JSON."""
+    save_classifier(classifier, path)
+
+
+def load_model(path) -> IustitiaClassifier:
+    """Load a classifier written by :func:`save_model`."""
+    return load_classifier(path)
+
+
+def open_engine(
+    classifier,
+    config: "EngineConfig | IustitiaConfig | None" = None,
+    *,
+    sink: "ResultSink | list[ResultSink] | tuple[ResultSink, ...] | None" = None,
+    rng: "np.random.Generator | None" = None,
+    registry: "MetricsRegistry | None" = None,
+) -> StagedEngine:
+    """Build a staged online engine around a classifier.
+
+    ``classifier`` is an :class:`IustitiaClassifier` or a path to a
+    model saved by :func:`save_model` (loaded for you). ``config`` is an
+    :class:`EngineConfig` (an :class:`IustitiaConfig` is accepted and
+    wrapped; None means defaults). ``sink`` attaches one result sink or
+    a sequence of them — anything implementing the ``ResultSink``
+    protocol (``on_flow_classified`` / ``on_packet``). A ``StatsSink``
+    always rides along (added when ``sink`` doesn't include one), so
+    ``engine.stats.classified`` and ``engine.evaluate_against`` work
+    regardless of what else is attached. ``registry`` shares a metrics
+    registry with the engine's instruments (one is created per engine
+    otherwise, unless ``config.telemetry`` is off).
+    """
+    if isinstance(classifier, (str, os.PathLike)):
+        classifier = load_model(classifier)
+    if not isinstance(classifier, IustitiaClassifier):
+        raise TypeError(
+            "classifier must be an IustitiaClassifier or a saved-model path, "
+            f"got {type(classifier).__name__}"
+        )
+    if config is None:
+        config = EngineConfig()
+    elif isinstance(config, IustitiaConfig):
+        config = EngineConfig(pipeline=config)
+    elif not isinstance(config, EngineConfig):
+        raise TypeError(
+            f"config must be an EngineConfig, got {type(config).__name__}"
+        )
+    sinks = None
+    if sink is not None:
+        sinks = list(sink) if isinstance(sink, (list, tuple)) else [sink]
+        for candidate in sinks:
+            if not callable(getattr(candidate, "on_flow_classified", None)):
+                raise TypeError(
+                    f"{type(candidate).__name__} does not implement the "
+                    "ResultSink protocol (missing on_flow_classified)"
+                )
+        if not any(isinstance(candidate, StatsSink) for candidate in sinks):
+            sinks.insert(0, StatsSink())
+    return StagedEngine(
+        classifier, config, rng=rng, sinks=sinks, registry=registry
+    )

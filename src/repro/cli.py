@@ -8,13 +8,19 @@ Subcommands::
                                    [--buffer B] [--per-class N] [--seed S]
     python -m repro.cli classify   model.json capture.pcap
                                    [--labels labels.json] [--json out.json]
+                                   [--metrics metrics.prom]
 
 ``gen-trace`` writes a synthetic gateway trace as a classic pcap plus an
 optional ground-truth label file; ``train`` builds a classifier from a
 synthetic corpus and saves it as JSON (no pickle: models loaded at a
 network boundary must not execute code); ``classify`` runs the online
 engine over a pcap, printing one line per classified flow and, when
-ground truth is supplied, an accuracy report.
+ground truth is supplied, an accuracy report. ``--metrics`` dumps the
+run's telemetry registry in Prometheus text exposition format.
+
+The command implementations go through the stable :mod:`repro.api`
+facade (``train`` / ``save_model`` / ``load_model`` / ``open_engine``),
+so they double as usage examples.
 """
 
 from __future__ import annotations
@@ -23,16 +29,15 @@ import argparse
 import json
 import sys
 
-from repro.core.classifier import IustitiaClassifier
+from repro.api import load_model, open_engine, save_model, train
 from repro.core.config import IustitiaConfig
 from repro.core.labels import FlowNature
-from repro.core.pipeline import IustitiaEngine
 from repro.data.corpus import build_corpus
-from repro.ml.persistence import load_classifier, save_classifier
 from repro.net.flow import FlowKey
 from repro.net.pcap import read_pcap, write_pcap
 from repro.net.trace import Trace
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
+from repro.obs import render_text
 
 __all__ = ["main"]
 
@@ -75,9 +80,8 @@ def _cmd_gen_trace(args: argparse.Namespace) -> int:
 def _cmd_train(args: argparse.Namespace) -> int:
     print(f"building corpus ({args.per_class} files/class, seed {args.seed})...")
     corpus = build_corpus(per_class=args.per_class, seed=args.seed)
-    classifier = IustitiaClassifier(model=args.model, buffer_size=args.buffer)
-    classifier.fit_corpus(corpus)
-    save_classifier(classifier, args.output)
+    classifier = train(corpus, model=args.model, buffer_size=args.buffer)
+    save_model(classifier, args.output)
     training_accuracy = classifier.score_files(
         [f.data for f in corpus], [f.nature for f in corpus]
     )
@@ -88,7 +92,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 def _cmd_classify(args: argparse.Namespace) -> int:
     try:
-        classifier = load_classifier(args.model)
+        classifier = load_model(args.model)
     except (ValueError, KeyError, json.JSONDecodeError) as exc:
         print(f"error: {args.model} is not a saved classifier: {exc}",
               file=sys.stderr)
@@ -104,7 +108,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         }
 
     trace = Trace(packets=read_pcap(args.pcap), labels=labels)
-    engine = IustitiaEngine(
+    engine = open_engine(
         classifier, IustitiaConfig(buffer_size=classifier.buffer_size)
     )
     stats = engine.process_trace(trace)
@@ -126,6 +130,14 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
     print(f"packets {stats.packets}, flows classified {stats.classifications}, "
           f"cdb hits {stats.cdb_hits}, unclassifiable {stats.unclassifiable}")
+    if args.metrics:
+        if engine.metrics is None:
+            print("error: engine telemetry is disabled; no metrics to write",
+                  file=sys.stderr)
+            return 2
+        with open(args.metrics, "w") as handle:
+            handle.write(render_text(engine.metrics))
+        print(f"wrote telemetry exposition to {args.metrics}")
     if labels:
         report = engine.evaluate_against(trace)
         print("accuracy vs ground truth: "
@@ -163,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument("pcap", help="capture to classify")
     classify.add_argument("--labels", help="ground-truth JSON from 'gen-trace'")
     classify.add_argument("--json", help="write per-flow results to this path")
+    classify.add_argument(
+        "--metrics",
+        help="write the run's telemetry in Prometheus text format to this path",
+    )
     classify.set_defaults(func=_cmd_classify)
     return parser
 

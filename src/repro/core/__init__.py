@@ -3,12 +3,13 @@ online flow-classification pipeline (Figure 1 of the paper)."""
 
 from repro.core.accounting import (
     distinct_counters,
+    flow_state_bytes,
     estimation_space_bytes,
     exact_space_bytes,
 )
 from repro.core.cdb import CdbRecord, ClassificationDatabase
 from repro.core.classifier import IustitiaClassifier, TrainingMethod
-from repro.core.config import IustitiaConfig
+from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.entropy import (
     byte_entropy,
     kgram_counts,
@@ -57,6 +58,7 @@ __all__ = [
     "ClassifiedFlow",
     "DelayBreakdown",
     "ENCRYPTED",
+    "EngineConfig",
     "EntropyEstimator",
     "EntropyVector",
     "EstimationBudget",
@@ -81,6 +83,7 @@ __all__ = [
     "entropy_vector",
     "estimation_space_bytes",
     "exact_space_bytes",
+    "flow_state_bytes",
     "entropy_vector_estimated",
     "estimate_hk",
     "feature_set_coefficient",

@@ -16,6 +16,7 @@ reverse-engineered from the paper's own numbers:
 
 from __future__ import annotations
 
+from repro.core.cdb import RECORD_BYTES
 from repro.core.entropy import kgram_count_values
 from repro.core.estimation import EstimationBudget
 from repro.core.features import FeatureSet
@@ -25,6 +26,7 @@ __all__ = [
     "distinct_counters",
     "estimation_space_bytes",
     "exact_space_bytes",
+    "flow_state_bytes",
 ]
 
 #: Counter width: 2 bytes count up to 65535 occurrences, enough for any
@@ -79,3 +81,19 @@ def estimation_space_bytes(
         raise ValueError(f"counter_bytes must be >= 1, got {counter_bytes}")
     h1_counters = 256 if 1 in features.widths else 0
     return counter_bytes * (budget.total_counters(features) + h1_counters)
+
+
+def flow_state_bytes(
+    window: "bytes | bytearray",
+    features: FeatureSet,
+    counter_bytes: int = DEFAULT_COUNTER_BYTES,
+) -> float:
+    """Total per-flow state the engine held to classify ``window``.
+
+    The paper's ~200 B headline (Table 3, b=32) counts the buffering-time
+    state — buffer plus exact-calculation counters — *and* the CDB record
+    the flow occupies once labelled; this is the engine-telemetry view of
+    that number, charged at classification time for the window actually
+    examined.
+    """
+    return exact_space_bytes(window, features, counter_bytes) + RECORD_BYTES

@@ -30,10 +30,20 @@ from dataclasses import dataclass, field
 
 from repro.core.labels import FlowNature
 
-__all__ = ["CdbRecord", "ClassificationDatabase", "RECORD_BITS", "REMOVAL_REASONS"]
+__all__ = [
+    "CdbRecord",
+    "ClassificationDatabase",
+    "RECORD_BITS",
+    "RECORD_BYTES",
+    "REMOVAL_REASONS",
+]
 
 #: Bits per CDB record: 160 hash + 32 inter-arrival + 2 label.
 RECORD_BITS = 194
+
+#: Bytes per CDB record under the same model (what telemetry charges a
+#: classified flow on top of its buffering-time state).
+RECORD_BYTES = RECORD_BITS / 8.0
 
 #: Default inter-arrival estimate before a flow has two packets (paper: 0.5 s).
 DEFAULT_LAMBDA = 0.5

@@ -1,12 +1,28 @@
-"""Configuration of the online Iustitia pipeline."""
+"""Configuration of the online Iustitia pipeline and staged engine.
+
+Two config objects, one nesting the other:
+
+* :class:`IustitiaConfig` — the paper's pipeline knobs (buffer size
+  ``b``, feature set, header handling, CDB purging, the Section-4.6
+  defenses);
+* :class:`EngineConfig` — the staged engine's operational knobs
+  (shard count, micro-batch size and latency bound, telemetry) plus
+  the pipeline knobs users actually sweep (``buffer_size``,
+  ``buffer_timeout``), consolidated from what used to be scattered
+  keyword arguments across ``StagedEngine`` and the classifier.
+
+``EngineConfig`` resolves to a fully-validated ``IustitiaConfig`` on
+construction (its ``pipeline`` field), so one frozen object carries
+everything an engine needs.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.features import PHI_SVM_PRIME, FeatureSet
 
-__all__ = ["IustitiaConfig"]
+__all__ = ["EngineConfig", "IustitiaConfig"]
 
 
 @dataclass(frozen=True)
@@ -74,3 +90,56 @@ class IustitiaConfig:
             raise ValueError(
                 f"reclassify_interval must be >= 0, got {self.reclassify_interval}"
             )
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All knobs of :class:`repro.engine.StagedEngine`, in one frozen object.
+
+    ``buffer_size`` (the paper's ``b``) and ``buffer_timeout`` default to
+    the values of ``pipeline`` when one is given (and to the
+    :class:`IustitiaConfig` defaults otherwise); setting them here wins
+    over the template. After construction ``pipeline`` is always a fully
+    resolved, validated :class:`IustitiaConfig` — engines read their
+    pipeline knobs from it and their staging knobs from this object.
+    """
+
+    #: Payload bytes buffered per new flow before classification (``b``).
+    buffer_size: "int | None" = None
+    #: Give up and classify a partial buffer after this inactivity (seconds).
+    buffer_timeout: "float | None" = None
+    #: Flow-table partitions (pending buffers + CDB, by hash prefix).
+    num_shards: int = 8
+    #: Ready flows per micro-batched ``classify_buffers`` call.
+    max_batch: int = 32
+    #: Packet-clock seconds a ready flow may wait for its batch to fill.
+    max_delay: float = 0.05
+    #: Instrument the engine with a :class:`repro.obs.MetricsRegistry`.
+    telemetry: bool = True
+    #: Template for the remaining pipeline knobs (feature set, header
+    #: handling, CDB purging, Section-4.6 defenses).
+    pipeline: "IustitiaConfig | None" = None
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {self.num_shards}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        base = self.pipeline if self.pipeline is not None else IustitiaConfig()
+        resolved = replace(
+            base,
+            buffer_size=(
+                self.buffer_size if self.buffer_size is not None
+                else base.buffer_size
+            ),
+            buffer_timeout=(
+                self.buffer_timeout if self.buffer_timeout is not None
+                else base.buffer_timeout
+            ),
+        )
+        # replace() re-runs IustitiaConfig validation on the merged values.
+        object.__setattr__(self, "buffer_size", resolved.buffer_size)
+        object.__setattr__(self, "buffer_timeout", resolved.buffer_timeout)
+        object.__setattr__(self, "pipeline", resolved)

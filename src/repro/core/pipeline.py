@@ -26,7 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.classifier import IustitiaClassifier
-from repro.core.config import IustitiaConfig
+from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.labels import FlowNature
 from repro.engine.engine import StagedEngine
 from repro.engine.sinks import QueueSink, StatsSink
@@ -60,10 +60,8 @@ class IustitiaEngine:
         self._queue_sink = QueueSink()
         self._engine = StagedEngine(
             classifier,
-            config,
+            EngineConfig(max_batch=1, max_delay=0.0, pipeline=config),
             rng=rng,
-            max_batch=1,
-            max_delay=0.0,
             sinks=[StatsSink(), self._queue_sink],
         )
 
@@ -80,6 +78,11 @@ class IustitiaEngine:
     @property
     def stats(self) -> PipelineStats:
         return self._engine.stats
+
+    @property
+    def metrics(self):
+        """The staged engine's ``MetricsRegistry`` (None when telemetry off)."""
+        return self._engine.metrics
 
     @property
     def cdb(self):

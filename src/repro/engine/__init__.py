@@ -23,7 +23,13 @@ from repro.engine.batcher import MicroBatcher, ReadyFlow
 from repro.engine.deadlines import DeadlineWheel
 from repro.engine.engine import StagedEngine
 from repro.engine.flow_table import FlowShard, ShardedFlowTable
-from repro.engine.sinks import CallbackSink, QueueSink, ResultSink, StatsSink
+from repro.engine.sinks import (
+    CallbackSink,
+    MetricsSink,
+    QueueSink,
+    ResultSink,
+    StatsSink,
+)
 from repro.engine.types import ClassifiedFlow, EngineStats, PendingFlow
 
 __all__ = [
@@ -32,6 +38,7 @@ __all__ = [
     "DeadlineWheel",
     "EngineStats",
     "FlowShard",
+    "MetricsSink",
     "MicroBatcher",
     "PendingFlow",
     "QueueSink",

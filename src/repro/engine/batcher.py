@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MicroBatcher", "ReadyFlow"]
+__all__ = ["DRAIN_REASONS", "MicroBatcher", "ReadyFlow"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,14 @@ class ReadyFlow:
     protocol: "str | None"
 
 
+#: Why a batch drained, for the ``batcher_drains_total`` reason split:
+#: ``size`` (max_batch reached), ``delay`` (latency bound on the packet
+#: clock), ``close`` (FIN/RST needs its label now), ``timeout`` (after a
+#: buffer-timeout flush), ``final`` (end of stream), ``manual`` (direct
+#: ``drain()`` call).
+DRAIN_REASONS = ("size", "delay", "close", "timeout", "final", "manual")
+
+
 class MicroBatcher:
     """Size- and delay-triggered accumulator of ready flows."""
 
@@ -48,6 +56,29 @@ class MicroBatcher:
         self.max_delay = max_delay
         self._queue: list[ReadyFlow] = []
         self._oldest_enqueued: "float | None" = None
+        self._m_drain_size = None
+        self._m_drains: "dict[str, object] | None" = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register this batcher's instruments on a ``MetricsRegistry``.
+
+        Exposes the drain-size distribution (histogram, buckets up to
+        ``max_batch``-scale) and a per-reason drain counter (see
+        :data:`DRAIN_REASONS`).
+        """
+        self._m_drain_size = registry.histogram(
+            "batcher_drain_flows",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0),
+            help="Flows per micro-batch drain",
+        )
+        self._m_drains = {
+            reason: registry.counter(
+                "batcher_drains_total",
+                help="Micro-batch drains by trigger reason",
+                reason=reason,
+            )
+            for reason in DRAIN_REASONS
+        }
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -58,7 +89,7 @@ class MicroBatcher:
         if self._oldest_enqueued is None:
             self._oldest_enqueued = now
         if len(self._queue) >= self.max_batch:
-            return self.drain()
+            return self.drain(reason="size")
         return None
 
     def due(self, now: float) -> bool:
@@ -68,9 +99,21 @@ class MicroBatcher:
             and now - self._oldest_enqueued >= self.max_delay
         )
 
-    def drain(self) -> "list[ReadyFlow]":
-        """Take everything queued (empty list when idle)."""
+    def drain(self, reason: str = "manual") -> "list[ReadyFlow]":
+        """Take everything queued (empty list when idle).
+
+        ``reason`` attributes the drain for telemetry; an unknown reason
+        raises so the split stays trustworthy.
+        """
+        if reason not in DRAIN_REASONS:
+            raise ValueError(
+                f"unknown drain reason {reason!r}; expected one of "
+                f"{', '.join(DRAIN_REASONS)}"
+            )
         batch = self._queue
         self._queue = []
         self._oldest_enqueued = None
+        if batch and self._m_drains is not None:
+            self._m_drain_size.observe(len(batch))
+            self._m_drains[reason].inc()
         return batch

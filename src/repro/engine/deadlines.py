@@ -29,6 +29,37 @@ class DeadlineWheel:
         self._heap: list[tuple[float, int, bytes]] = []
         self._current: dict[bytes, float] = {}
         self._seq = 0
+        self._m_expirations = None
+        self._m_heap_entries = None
+        self._m_scheduled = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register this wheel's instruments on a ``MetricsRegistry``.
+
+        Exposes expirations (counter), live heap entries including stale
+        ones (gauge — the cost of lazy rescheduling), and scheduled flows
+        (gauge). The two gauges are pull-based: a registry collector
+        reads the sizes at scrape time, so ``schedule``/``pop_expired``
+        pay nothing for them.
+        """
+        self._m_expirations = registry.counter(
+            "wheel_expirations_total",
+            help="Buffer-timeout deadlines fired by the deadline wheel",
+        )
+        self._m_heap_entries = registry.gauge(
+            "wheel_heap_entries",
+            help="Heap entries held by the wheel (live + stale)",
+        )
+        self._m_scheduled = registry.gauge(
+            "wheel_scheduled_flows",
+            help="Flows with an active buffer-timeout deadline",
+        )
+        registry.add_collector(self._collect)
+
+    def _collect(self) -> None:
+        """Refresh the pull-based size gauges (scrape-time only)."""
+        self._m_heap_entries.set(len(self._heap))
+        self._m_scheduled.set(len(self._current))
 
     def __len__(self) -> int:
         """Number of flows with an active deadline (not heap entries)."""
@@ -66,6 +97,8 @@ class DeadlineWheel:
             if self._current.get(flow_id) == deadline:
                 del self._current[flow_id]
                 expired.append(flow_id)
+        if expired and self._m_expirations is not None:
+            self._m_expirations.inc(len(expired))
         return expired
 
     def _compact(self) -> None:

@@ -26,52 +26,112 @@ path.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from repro.core.accounting import flow_state_bytes
 from repro.core.classifier import IustitiaClassifier
-from repro.core.config import IustitiaConfig
+from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.headers import skip_threshold, strip_app_header
 from repro.core.labels import ALL_NATURES, FlowNature
 from repro.engine.batcher import MicroBatcher, ReadyFlow
 from repro.engine.deadlines import DeadlineWheel
 from repro.engine.flow_table import ShardedFlowTable
-from repro.engine.sinks import ResultSink, StatsSink
+from repro.engine.sinks import DELAY_BUCKETS, MetricsSink, ResultSink, StatsSink
 from repro.engine.types import ClassifiedFlow, EngineStats, PendingFlow
 from repro.net.flow import FlowKey
 from repro.net.hashing import flow_hash
 from repro.net.packet import Packet
 from repro.net.trace import Trace
+from repro.obs import MetricsRegistry
 
 __all__ = ["StagedEngine"]
 
+#: Sample per-flow state bytes every Nth classification: the accounting
+#: walk re-counts distinct k-grams (comparable to one extraction), so
+#: charging every flow would blow the <5% instrumentation budget. The
+#: first classification is always sampled.
+STATE_SAMPLE_EVERY = 512
+
+#: Buckets for per-flow state bytes: centred on the paper's ~200 B
+#: (b=32) and 5.1 KB (b=1024) Table-3 figures.
+STATE_BYTE_BUCKETS = (
+    64.0, 128.0, 192.0, 256.0, 384.0, 512.0, 1024.0, 2048.0, 5120.0, 8192.0
+)
+
 
 class StagedEngine:
-    """Staged online flow-nature classifier engine."""
+    """Staged online flow-nature classifier engine.
+
+    Configure with one frozen :class:`~repro.core.config.EngineConfig`
+    (preferred) or a legacy :class:`IustitiaConfig` plus the deprecated
+    ``num_shards`` / ``max_batch`` / ``max_delay`` keywords. Unless
+    telemetry is disabled (``EngineConfig(telemetry=False)``), every
+    stage registers instruments on ``self.metrics`` — a
+    :class:`repro.obs.MetricsRegistry`, shareable via the ``registry``
+    argument — and a run yields live counters, gauges, and histograms
+    for each paper claim (see DESIGN.md's metric map).
+    """
 
     def __init__(
         self,
         classifier: IustitiaClassifier,
-        config: "IustitiaConfig | None" = None,
+        config: "EngineConfig | IustitiaConfig | None" = None,
         rng: "np.random.Generator | None" = None,
         *,
-        num_shards: int = 8,
-        max_batch: int = 32,
-        max_delay: float = 0.05,
+        num_shards: "int | None" = None,
+        max_batch: "int | None" = None,
+        max_delay: "float | None" = None,
         sinks: "list[ResultSink] | None" = None,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
+        if isinstance(config, EngineConfig):
+            if num_shards is not None or max_batch is not None or max_delay is not None:
+                raise TypeError(
+                    "num_shards/max_batch/max_delay are fields of EngineConfig; "
+                    "set them there instead of passing keywords"
+                )
+            engine_config = config
+        else:
+            legacy = [
+                name
+                for name, value in (
+                    ("num_shards", num_shards),
+                    ("max_batch", max_batch),
+                    ("max_delay", max_delay),
+                )
+                if value is not None
+            ]
+            if legacy:
+                warnings.warn(
+                    f"StagedEngine({', '.join(legacy)}=...) keywords are "
+                    "deprecated; pass repro.EngineConfig(...) as config",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            engine_config = EngineConfig(
+                num_shards=num_shards if num_shards is not None else 8,
+                max_batch=max_batch if max_batch is not None else 32,
+                max_delay=max_delay if max_delay is not None else 0.05,
+                pipeline=config,
+            )
         self.classifier = classifier
-        self.config = config if config is not None else IustitiaConfig()
+        self.engine_config = engine_config
+        self.config = engine_config.pipeline
         if self.config.buffer_size < classifier.feature_set.max_width:
             raise ValueError(
                 "engine buffer_size cannot hold the classifier's widest feature"
             )
         self.table = ShardedFlowTable(
-            num_shards=num_shards,
+            num_shards=engine_config.num_shards,
             purge_coefficient=self.config.purge_coefficient,
             purge_trigger_flows=self.config.purge_trigger_flows,
         )
         self.wheel = DeadlineWheel()
-        self.batcher = MicroBatcher(max_batch=max_batch, max_delay=max_delay)
+        self.batcher = MicroBatcher(
+            max_batch=engine_config.max_batch, max_delay=engine_config.max_delay
+        )
         self.sinks: list[ResultSink] = (
             list(sinks) if sinks is not None else [StatsSink()]
         )
@@ -82,6 +142,107 @@ class StagedEngine:
                 self.stats.classified = sink.classified
                 break
         self._rng = rng if rng is not None else np.random.default_rng()
+        if registry is None and engine_config.telemetry:
+            # Adopt an attached MetricsSink's registry so the whole
+            # telemetry plane (stage instruments + sink outcomes) lands
+            # in one place; otherwise the engine gets its own.
+            for sink in self.sinks:
+                if isinstance(sink, MetricsSink):
+                    registry = sink.registry
+                    break
+            else:
+                registry = MetricsRegistry()
+        self.metrics: "MetricsRegistry | None" = registry
+        self._bind_metrics(registry)
+
+    def _bind_metrics(self, registry: "MetricsRegistry | None") -> None:
+        """Create this engine's instruments (every stage binds too)."""
+        if registry is None:
+            self._m_delay = None
+            self._m_classify = None
+            self._m_state_bytes = None
+            self._m_cdb_hits = None
+            self._m_unclassifiable = None
+            self._m_reclassified = None
+            self._m_classified = None
+            self._state_countdown = 0
+            self._delay_buf = []
+            return
+        self.table.bind_metrics(registry)
+        self.wheel.bind_metrics(registry)
+        self.batcher.bind_metrics(registry)
+        self._m_delay = registry.histogram(
+            "engine_classification_delay_seconds",
+            buckets=DELAY_BUCKETS,
+            help="Packet-clock delay from a flow's first payload byte to "
+            "its label (the paper's Section 5 delay metric)",
+        )
+        self._m_classify = registry.histogram(
+            "engine_classify_batch_seconds",
+            help="Wall-clock seconds per micro-batched classify_buffers call",
+        )
+        self._m_state_bytes = registry.histogram(
+            "engine_flow_state_bytes",
+            buckets=STATE_BYTE_BUCKETS,
+            help="Sampled per-flow state (window + exact counters + CDB "
+            "record; the paper's ~200 B claim at b=32)",
+        )
+        self._m_cdb_hits = registry.counter(
+            "engine_cdb_hits_total",
+            help="Packets forwarded via an existing CDB label",
+        )
+        self._m_unclassifiable = registry.counter(
+            "engine_unclassifiable_total",
+            help="Flows dropped with too little payload to classify",
+        )
+        self._m_reclassified = registry.counter(
+            "engine_reclassifications_total",
+            help="CDB records expired by the reclassification defense",
+        )
+        self._m_classified = {
+            nature: registry.counter(
+                "engine_classifications_total",
+                help="Flows classified, by assigned nature",
+                nature=str(nature),
+            )
+            for nature in ALL_NATURES
+        }
+        self._state_countdown = 0
+        self._delay_buf: list[float] = []
+        # Last stats values pushed into the counters: deltas are tracked
+        # per engine, so engines sharing a registry still aggregate.
+        self._synced_counts = {"cdb_hits": 0, "reclassifications": 0}
+        self._synced_classified = {nature: 0 for nature in ALL_NATURES}
+        registry.add_collector(self._collect_metrics)
+
+    def _flush_delay_buf(self) -> None:
+        """Bucket the deferred classification-delay observations."""
+        observe = self._m_delay.observe
+        for delay in self._delay_buf:
+            observe(delay)
+        self._delay_buf.clear()
+
+    def _collect_metrics(self) -> None:
+        """Sync the engine's pull-based instruments (scrape-time only).
+
+        The classify loop runs per flow and the CDB hit path per packet,
+        so the hot path keeps plain stats ints and a deferred delay list
+        (flushed every ``STATE_SAMPLE_EVERY`` classifications to stay
+        bounded), and this collector levels the counters and the delay
+        histogram up to them when the registry is scraped.
+        """
+        self._flush_delay_buf()
+        for nature, counter in self._m_classified.items():
+            current = self.stats.per_class[nature]
+            counter.inc(current - self._synced_classified[nature])
+            self._synced_classified[nature] = current
+        synced = self._synced_counts
+        self._m_cdb_hits.inc(self.stats.cdb_hits - synced["cdb_hits"])
+        synced["cdb_hits"] = self.stats.cdb_hits
+        self._m_reclassified.inc(
+            self.stats.reclassifications - synced["reclassifications"]
+        )
+        synced["reclassifications"] = self.stats.reclassifications
 
     # -- stage 3/4 helpers ----------------------------------------------------
 
@@ -130,6 +291,8 @@ class StagedEngine:
         window, protocol = self._classification_window(bytes(pending.buffer))
         if len(window) < self.classifier.feature_set.max_width:
             self.stats.unclassifiable += 1
+            if self._m_unclassifiable is not None:
+                self._m_unclassifiable.inc()
             self.table.pending_pop(flow_id)
             self.wheel.cancel(flow_id)
             return {}
@@ -139,7 +302,7 @@ class StagedEngine:
             ReadyFlow(flow_id=flow_id, window=window, protocol=protocol), now
         )
         if force and batch is None:
-            batch = self.batcher.drain()
+            batch = self.batcher.drain(reason="close")
         if batch:
             return self._classify_batch(batch, now)
         return {}
@@ -148,13 +311,33 @@ class StagedEngine:
         self, batch: "list[ReadyFlow]", now: float
     ) -> "dict[bytes, FlowNature]":
         """Classify a drained batch; returns flow_id -> label."""
-        labels = self.classifier.classify_buffers([r.window for r in batch])
+        if self._m_classify is not None:
+            with self._m_classify.time():
+                labels = self.classifier.classify_buffers(
+                    [r.window for r in batch]
+                )
+        else:
+            labels = self.classifier.classify_buffers([r.window for r in batch])
         results: dict[bytes, FlowNature] = {}
         for ready, label in zip(batch, labels):
             pending = self.table.pending_pop(ready.flow_id)
             self.table.insert(ready.flow_id, label, now)
             self.stats.classifications += 1
             self.stats.per_class[label] += 1
+            if self._m_delay is not None:
+                self._delay_buf.append(now - pending.first_arrival)
+                self._state_countdown -= 1
+                if self._state_countdown < 0:
+                    # One slow-path stop per STATE_SAMPLE_EVERY flows:
+                    # sample the state-size histogram and bucket the
+                    # deferred delays (bounds the buffer).
+                    self._state_countdown = STATE_SAMPLE_EVERY - 1
+                    self._m_state_bytes.observe(
+                        flow_state_bytes(
+                            ready.window, self.classifier.feature_set
+                        )
+                    )
+                    self._flush_delay_buf()
             outcome = ClassifiedFlow(
                 key=pending.key,
                 label=label,
@@ -168,9 +351,11 @@ class StagedEngine:
             results[ready.flow_id] = label
         return results
 
-    def _drain_batcher(self, now: float) -> "dict[bytes, FlowNature]":
+    def _drain_batcher(
+        self, now: float, reason: str = "manual"
+    ) -> "dict[bytes, FlowNature]":
         """Flush whatever the batcher holds (empty dict when idle)."""
-        batch = self.batcher.drain()
+        batch = self.batcher.drain(reason=reason)
         if not batch:
             return {}
         return self._classify_batch(batch, now)
@@ -183,11 +368,12 @@ class StagedEngine:
         key = FlowKey.of_packet(packet)
         flow_id = flow_hash(key)
         now = packet.timestamp
+        self.table.note_ingest(flow_id, len(packet.payload))
         is_close = packet.is_tcp and (packet.transport.fin or packet.transport.rst)
         if self.batcher.due(now):
             # The packet clock advanced past the latency bound of the
             # oldest queued flow: drain before handling this packet.
-            self._drain_batcher(now)
+            self._drain_batcher(now, reason="delay")
 
         record = self.table.record_of(flow_id)
         if record is not None and (
@@ -225,7 +411,7 @@ class StagedEngine:
         if pending.queued:
             # Window already with the batcher; a close needs the label now.
             if is_close:
-                result = self._drain_batcher(now).get(flow_id)
+                result = self._drain_batcher(now, reason="close").get(flow_id)
         else:
             self.wheel.schedule(flow_id, now + self.config.buffer_timeout)
             if len(pending.buffer) >= self._target_bytes or is_close:
@@ -248,7 +434,7 @@ class StagedEngine:
         how many flows were handled (classified or dropped).
         """
         if self.batcher.due(now):
-            self._drain_batcher(now)
+            self._drain_batcher(now, reason="delay")
         expired = [
             (flow_id, pending)
             for flow_id in self.wheel.pop_expired(now)
@@ -259,16 +445,16 @@ class StagedEngine:
         expired.sort(key=lambda item: item[1].seq)
         for flow_id, pending in expired:
             self._make_ready(flow_id, pending, now, force=False)
-        self._drain_batcher(now)
+        self._drain_batcher(now, reason="timeout")
         return len(expired)
 
     def finish(self, now: float) -> None:
         """End of stream: drain the batcher and classify every pending flow."""
-        self._drain_batcher(now)
+        self._drain_batcher(now, reason="final")
         for flow_id, pending in self.table.pending_items():
             if not pending.queued:
                 self._make_ready(flow_id, pending, now, force=False)
-        self._drain_batcher(now)
+        self._drain_batcher(now, reason="final")
 
     def process_trace(
         self, trace: Trace, sample_interval: float = 1.0

@@ -67,10 +67,86 @@ class ShardedFlowTable:
         self.shards = [FlowShard(i, purge_coefficient) for i in range(num_shards)]
         self._inserts_since_purge = 0
         self._next_seq = 0
+        self._m_shard_packets: "list | None" = None
+        self._m_shard_bytes: "list | None" = None
+        #: Interleaved per-shard [packets, bytes] pairs; plain ints so the
+        #: per-packet ingest path never touches a metric object.
+        self._ingest: "list[int] | None" = None
+        self._m_pending = None
+        self._m_cdb_flows = None
+        self._m_cdb_bytes = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register this table's instruments on a ``MetricsRegistry``.
+
+        Exposes per-shard ingest (packets/payload-bytes counters, labeled
+        by shard index), pending-flow occupancy (gauge), and the CDB's
+        occupancy in flows and 194-bit-record bytes (gauges — the
+        paper's Figure 8 size series, live). Every instrument here is
+        pull-based: the hot path only bumps plain ints, and a registry
+        collector syncs them into counters/gauges at scrape time.
+        """
+        self._m_shard_packets = [
+            registry.counter(
+                "engine_packets_total",
+                help="Packets ingested, by flow-table shard",
+                shard=i,
+            )
+            for i in range(self.num_shards)
+        ]
+        self._m_shard_bytes = [
+            registry.counter(
+                "engine_payload_bytes_total",
+                help="Payload bytes ingested, by flow-table shard",
+                shard=i,
+            )
+            for i in range(self.num_shards)
+        ]
+        self._m_pending = registry.gauge(
+            "engine_pending_flows",
+            help="Flows currently buffering toward classification",
+        )
+        self._m_cdb_flows = registry.gauge(
+            "cdb_flows",
+            help="Classified flows resident in the CDB",
+        )
+        self._m_cdb_bytes = registry.gauge(
+            "cdb_record_bytes",
+            help="CDB storage under the paper's 194-bit record model",
+        )
+        self._ingest = [0] * (2 * self.num_shards)
+        # Last values pushed into the counters: deltas are tracked per
+        # table, so tables sharing a registry still aggregate correctly.
+        self._ingest_synced = [0] * (2 * self.num_shards)
+        registry.add_collector(self._collect)
+
+    def _collect(self) -> None:
+        """Sync the pull-based instruments (scrape-time only)."""
+        ingest = self._ingest
+        synced = self._ingest_synced
+        for index, counter in enumerate(self._m_shard_packets):
+            counter.inc(ingest[2 * index] - synced[2 * index])
+            synced[2 * index] = ingest[2 * index]
+        for index, counter in enumerate(self._m_shard_bytes):
+            counter.inc(ingest[2 * index + 1] - synced[2 * index + 1])
+            synced[2 * index + 1] = ingest[2 * index + 1]
+        self._m_pending.set(self.pending_count)
+        occupancy = len(self)
+        self._m_cdb_flows.set(occupancy)
+        self._m_cdb_bytes.set(occupancy * RECORD_BITS / 8.0)
+
+    def note_ingest(self, flow_id: bytes, payload_bytes: int) -> None:
+        """Count one ingested packet against its shard (no-op unbound)."""
+        counts = self._ingest
+        if counts is None:
+            return
+        index = ((flow_id[0] << 8) | flow_id[1]) % self.num_shards * 2
+        counts[index] += 1
+        counts[index + 1] += payload_bytes
 
     def shard_index(self, flow_id: bytes) -> int:
         """Shard owning a flow ID (keyed by the 16-bit hash prefix)."""
-        return int.from_bytes(flow_id[:2], "big") % self.num_shards
+        return ((flow_id[0] << 8) | flow_id[1]) % self.num_shards
 
     def shard_of(self, flow_id: bytes) -> FlowShard:
         """The shard owning a flow ID."""

@@ -1,0 +1,38 @@
+"""Telemetry for the staged engine: metrics primitives + text exposition.
+
+``repro.obs`` is a dependency-free monitoring plane (stdlib only, no
+imports from the rest of ``repro``): a :class:`MetricsRegistry` of
+:class:`Counter` / :class:`Gauge` / fixed-bucket :class:`Histogram`
+instruments with :class:`Timer` context managers, and a Prometheus-style
+text exposition (:func:`render_text`, checked by :func:`validate_text`).
+
+The staged engine instruments every stage with it by default — per-shard
+ingest, deadline-wheel expirations, micro-batch drains, per-batch
+classify latency, per-flow classification delay (the paper's Section 5
+metric), and CDB occupancy / per-flow state bytes (the ~200 B claim).
+Snapshots come three ways: ``registry.snapshot()`` (plain dict),
+``render_text(registry)`` (scrape format), and
+:class:`repro.engine.sinks.MetricsSink` (periodic snapshots riding the
+engine's sink plumbing).
+"""
+
+from repro.obs.exposition import render_text, validate_text
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "render_text",
+    "validate_text",
+]

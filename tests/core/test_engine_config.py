@@ -1,0 +1,96 @@
+"""Tests for EngineConfig and the legacy-kwarg deprecation shim."""
+
+import warnings
+
+import pytest
+
+from repro.core.config import EngineConfig, IustitiaConfig
+from repro.core.features import PHI_CART
+from repro.engine import StagedEngine
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.num_shards == 8
+        assert config.max_batch == 32
+        assert config.max_delay == 0.05
+        assert config.telemetry is True
+        # Pipeline resolves to a full IustitiaConfig with its defaults.
+        assert isinstance(config.pipeline, IustitiaConfig)
+        assert config.buffer_size == 32
+        assert config.buffer_timeout == 10.0
+        assert config.buffer_size == config.pipeline.buffer_size
+
+    def test_explicit_knobs_win_over_pipeline_template(self):
+        template = IustitiaConfig(buffer_size=64, buffer_timeout=5.0)
+        config = EngineConfig(buffer_size=16, pipeline=template)
+        assert config.buffer_size == 16
+        assert config.pipeline.buffer_size == 16
+        # Unset knobs inherit from the template.
+        assert config.buffer_timeout == 5.0
+        # Non-overlapping template fields survive the merge.
+        assert config.pipeline.purge_coefficient == template.purge_coefficient
+
+    def test_pipeline_template_without_overrides(self):
+        template = IustitiaConfig(buffer_size=128)
+        config = EngineConfig(pipeline=template)
+        assert config.buffer_size == 128
+        assert config.pipeline.buffer_size == 128
+
+    def test_merged_values_are_validated(self):
+        # buffer_size 8 cannot hold PHI_CART's h10: the merged pipeline
+        # re-runs IustitiaConfig validation.
+        with pytest.raises(ValueError, match="widest"):
+            EngineConfig(
+                buffer_size=8, pipeline=IustitiaConfig(feature_set=PHI_CART)
+            )
+
+    def test_staging_knob_validation(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            EngineConfig(num_shards=0)
+        with pytest.raises(ValueError, match="max_batch"):
+            EngineConfig(max_batch=0)
+        with pytest.raises(ValueError, match="max_delay"):
+            EngineConfig(max_delay=-1.0)
+
+    def test_frozen(self):
+        config = EngineConfig()
+        with pytest.raises(AttributeError):
+            config.max_batch = 64
+
+
+class TestLegacyKwargShim:
+    def test_legacy_kwargs_warn_and_work(self, trained_svm):
+        with pytest.warns(DeprecationWarning, match="max_batch"):
+            engine = StagedEngine(trained_svm, max_batch=4, max_delay=0.1)
+        assert engine.engine_config.max_batch == 4
+        assert engine.engine_config.max_delay == 0.1
+
+    def test_legacy_num_shards_warns(self, trained_svm):
+        with pytest.warns(DeprecationWarning, match="num_shards"):
+            engine = StagedEngine(trained_svm, num_shards=2)
+        assert engine.table.num_shards == 2
+
+    def test_bare_pipeline_config_does_not_warn(self, trained_svm):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = StagedEngine(trained_svm, IustitiaConfig(buffer_size=32))
+        assert engine.engine_config.max_batch == 32  # EngineConfig default
+
+    def test_engine_config_does_not_warn(self, trained_svm):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = StagedEngine(trained_svm, EngineConfig(max_batch=4))
+        assert engine.engine_config.max_batch == 4
+
+    def test_engine_config_plus_legacy_kwargs_is_an_error(self, trained_svm):
+        with pytest.raises(TypeError, match="max_batch"):
+            StagedEngine(trained_svm, EngineConfig(), max_batch=4)
+
+    def test_iustitia_engine_facade_does_not_warn(self, trained_svm):
+        from repro.core.pipeline import IustitiaEngine
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            IustitiaEngine(trained_svm)

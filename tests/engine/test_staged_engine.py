@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import IustitiaConfig
+from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.labels import ALL_NATURES
 from repro.engine import CallbackSink, QueueSink, StagedEngine, StatsSink
 from repro.net.packet import (
@@ -36,9 +36,11 @@ def _tcp_packet(payload, timestamp, flags=FLAG_ACK, sport=6666):
 def _engine(trained_svm, max_batch, max_delay=10.0, **kwargs):
     return StagedEngine(
         trained_svm,
-        IustitiaConfig(buffer_size=32),
-        max_batch=max_batch,
-        max_delay=max_delay,
+        EngineConfig(
+            max_batch=max_batch,
+            max_delay=max_delay,
+            pipeline=IustitiaConfig(buffer_size=32),
+        ),
         **kwargs,
     )
 
@@ -188,9 +190,11 @@ class TestTraceAccuracy:
     ):
         engine = StagedEngine(
             trained_svm,
-            IustitiaConfig(buffer_size=32),
-            max_batch=max_batch,
-            max_delay=0.1,
+            EngineConfig(
+                max_batch=max_batch,
+                max_delay=0.1,
+                pipeline=IustitiaConfig(buffer_size=32),
+            ),
         )
         stats = engine.process_trace(small_trace)
         assert stats.packets == len(small_trace)

@@ -86,6 +86,20 @@ class TestTrainAndClassify:
             results[0]
         )
 
+    def test_classify_writes_metrics_exposition(
+        self, artifacts, tmp_path, capsys
+    ):
+        from repro.obs import validate_text
+
+        model, pcap, _ = artifacts
+        metrics = tmp_path / "metrics.prom"
+        assert main(["classify", str(model), str(pcap),
+                     "--metrics", str(metrics)]) == 0
+        text = metrics.read_text()
+        assert validate_text(text) > 0
+        assert "engine_classification_delay_seconds" in text
+        assert "wrote telemetry exposition" in capsys.readouterr().out
+
     def test_classify_rejects_non_model_file(self, artifacts, tmp_path, capsys):
         _, pcap, _ = artifacts
         bogus = tmp_path / "bogus.json"

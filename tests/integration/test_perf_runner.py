@@ -65,3 +65,21 @@ def test_run_perf_tiny_writes_json(tmp_path):
     # No timing thresholds at tiny scale, but the field must exist and
     # batching must never have LOST labels (validated in-runner).
     assert sweep["speedup_32_vs_1"] > 0
+
+    # Telemetry-era payload: the Section-5 delay ratio at the top level
+    # (where CI asserts on it) plus its full detail block, and the
+    # instrumentation-overhead probe. No thresholds at tiny scale —
+    # the numbers are noise with repeat=1; only full-scale runs are
+    # held to the <5% overhead budget.
+    assert engine_results["delay_ratio"] > 0
+    delay = engine_results["classification_delay"]
+    assert delay["classifications"] > 0
+    assert delay["mean_classify_delay_s"] > 0
+    assert delay["delay_ratio"] == engine_results["delay_ratio"]
+    overhead = sweep["telemetry_overhead"]
+    assert overhead["telemetry_on_s"] > 0
+    assert overhead["telemetry_off_s"] > 0
+    assert (
+        engine_results["telemetry_overhead_fraction"]
+        == overhead["overhead_fraction"]
+    )

@@ -11,12 +11,17 @@ may differ by design.
 import numpy as np
 import pytest
 
-from repro.core.config import IustitiaConfig
+from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.pipeline import IustitiaEngine
 from repro.engine import QueueSink, StagedEngine, StatsSink
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 
 from ._seed_engine import SeedEngine
+
+
+def _sync(config: IustitiaConfig) -> EngineConfig:
+    """The seed monolith's synchronous behaviour, as an EngineConfig."""
+    return EngineConfig(max_batch=1, max_delay=0.0, pipeline=config)
 
 
 def _label_map(stats):
@@ -61,8 +66,7 @@ class TestSyncEquivalence:
         config = IustitiaConfig(buffer_size=32)
         seed = SeedEngine(trained_svm, config)
         staged = StagedEngine(
-            trained_svm, config, max_batch=1, max_delay=0.0,
-            sinks=[StatsSink(), QueueSink()],
+            trained_svm, _sync(config), sinks=[StatsSink(), QueueSink()]
         )
         seed_stats = seed.process_trace(trace, sample_interval=1.0)
         staged_stats = staged.process_trace(trace, sample_interval=1.0)
@@ -113,8 +117,7 @@ class TestSyncEquivalence:
         )
         seed = SeedEngine(trained_svm, config, rng=np.random.default_rng(7))
         staged = StagedEngine(
-            trained_svm, config, rng=np.random.default_rng(7),
-            max_batch=1, max_delay=0.0,
+            trained_svm, _sync(config), rng=np.random.default_rng(7)
         )
         seed_stats = seed.process_trace(trace)
         staged_stats = staged.process_trace(trace)
@@ -127,7 +130,7 @@ class TestSyncEquivalence:
         trace = reference_traces["plain"]
         config = IustitiaConfig(buffer_size=32, purge_trigger_flows=20)
         seed = SeedEngine(trained_svm, config)
-        staged = StagedEngine(trained_svm, config, max_batch=1, max_delay=0.0)
+        staged = StagedEngine(trained_svm, _sync(config))
         seed_stats = seed.process_trace(trace, sample_interval=0.5)
         staged_stats = staged.process_trace(trace, sample_interval=0.5)
         assert staged_stats.cdb_size_series == seed_stats.cdb_size_series
@@ -146,7 +149,8 @@ class TestBatchedLabelEquivalence:
         config = IustitiaConfig(buffer_size=32)
         seed = SeedEngine(trained_svm, config)
         staged = StagedEngine(
-            trained_svm, config, max_batch=max_batch, max_delay=0.25
+            trained_svm,
+            EngineConfig(max_batch=max_batch, max_delay=0.25, pipeline=config),
         )
         seed_stats = seed.process_trace(trace)
         staged_stats = staged.process_trace(trace)
@@ -160,7 +164,7 @@ class TestBatchedLabelEquivalence:
         trace = reference_traces["headered"]
         config = IustitiaConfig(buffer_size=32)
         facade = IustitiaEngine(trained_svm, config)
-        staged = StagedEngine(trained_svm, config, max_batch=1, max_delay=0.0)
+        staged = StagedEngine(trained_svm, _sync(config))
         facade_stats = facade.process_trace(trace)
         staged_stats = staged.process_trace(trace)
         assert _label_map(facade_stats) == _label_map(staged_stats)

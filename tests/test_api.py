@@ -2,6 +2,8 @@
 
 import inspect
 
+import pytest
+
 import repro
 
 
@@ -36,6 +38,14 @@ class TestPublicApi:
             if inspect.isclass(obj) or inspect.isfunction(obj):
                 assert obj.__doc__, f"{name} lacks a docstring"
 
+    def test_facade_exported(self):
+        for name in ("train", "save_model", "load_model", "open_engine"):
+            assert name in repro.__all__
+            assert callable(getattr(repro, name))
+        for name in ("MetricsRegistry", "MetricsSink", "EngineConfig",
+                     "render_text", "validate_text"):
+            assert name in repro.__all__
+
     def test_subpackages_have_docstrings(self):
         import repro.analysis
         import repro.core
@@ -50,3 +60,86 @@ class TestPublicApi:
             repro.ml, repro.net, repro.streaming,
         ):
             assert module.__doc__
+
+
+class TestFacade:
+    """The four-call workflow of repro.api, end to end."""
+
+    def test_train_defaults_produce_fitted_svm(self, small_corpus):
+        clf = repro.train(small_corpus, buffer_size=16)
+        assert isinstance(clf, repro.IustitiaClassifier)
+        assert clf.buffer_size == 16
+        assert clf.classify_buffer(b"A" * 16) in repro.FlowNature
+
+    def test_save_load_round_trip(self, trained_svm, tmp_path, sample_files):
+        path = tmp_path / "model.json"
+        repro.save_model(trained_svm, path)
+        loaded = repro.load_model(path)
+        for data in sample_files.values():
+            buf = data[: trained_svm.buffer_size]
+            assert loaded.classify_buffer(buf) == trained_svm.classify_buffer(buf)
+
+    def test_open_engine_defaults(self, trained_svm, small_trace):
+        engine = repro.open_engine(trained_svm)
+        stats = engine.process_trace(small_trace)
+        assert stats.classifications > 0
+        assert engine.metrics is not None
+
+    def test_open_engine_accepts_model_path(
+        self, trained_svm, tmp_path, small_trace
+    ):
+        path = tmp_path / "model.json"
+        repro.save_model(trained_svm, path)
+        engine = repro.open_engine(str(path))
+        assert engine.process_trace(small_trace).classifications > 0
+
+    def test_open_engine_wraps_iustitia_config(self, trained_svm):
+        engine = repro.open_engine(
+            trained_svm, repro.IustitiaConfig(buffer_size=32)
+        )
+        assert isinstance(engine.engine_config, repro.EngineConfig)
+        assert engine.config.buffer_size == 32
+
+    def test_open_engine_single_sink(self, trained_svm, small_trace):
+        sink = repro.StatsSink()
+        engine = repro.open_engine(trained_svm, sink=sink)
+        engine.process_trace(small_trace)
+        assert len(sink.classified) > 0
+
+    def test_open_engine_sink_list(self, trained_svm, small_trace):
+        stats, queue = repro.StatsSink(), repro.QueueSink()
+        engine = repro.open_engine(trained_svm, sink=[stats, queue])
+        engine.process_trace(small_trace)
+        assert len(stats.classified) > 0
+        assert sum(len(q) for q in queue.queues.values()) > 0
+
+    def test_open_engine_keeps_stats_surface_with_custom_sinks(
+        self, trained_svm, small_trace
+    ):
+        """A StatsSink always rides along, so evaluate_against works."""
+        engine = repro.open_engine(trained_svm, sink=repro.QueueSink())
+        engine.process_trace(small_trace)
+        assert len(engine.stats.classified) == engine.stats.classifications > 0
+        assert engine.evaluate_against(small_trace)["accuracy"] > 0
+
+    def test_open_engine_rejects_non_sink(self, trained_svm):
+        with pytest.raises(TypeError, match="ResultSink"):
+            repro.open_engine(trained_svm, sink=object())
+
+    def test_open_engine_rejects_non_classifier(self):
+        with pytest.raises(TypeError, match="classifier"):
+            repro.open_engine(42)
+
+    def test_open_engine_rejects_bad_config(self, trained_svm):
+        with pytest.raises(TypeError, match="EngineConfig"):
+            repro.open_engine(trained_svm, config={"max_batch": 4})
+
+    def test_metrics_sink_constructible_from_facade(
+        self, trained_svm, small_trace
+    ):
+        sink = repro.MetricsSink()
+        engine = repro.open_engine(trained_svm, sink=sink)
+        engine.process_trace(small_trace)
+        # The engine adopted the sink's registry: one telemetry plane.
+        assert engine.metrics is sink.registry
+        assert repro.validate_text(repro.render_text(engine.metrics)) > 0
