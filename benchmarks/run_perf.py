@@ -23,6 +23,13 @@ and the paper's Section-5 ``delay_ratio`` — mean per-flow classification
 wall-clock over the mean packet inter-arrival of a synthetic gateway
 trace (the paper reports ~0.1).
 
+A third payload, ``BENCH_state.json``, measures the per-flow state cost
+of the two feature extractors on a fragmented trace: exact per-flow
+state bytes of the incremental (fold-at-arrival, no payload) extractor
+vs the buffered baseline — both reported next to the paper's ~200 B
+Table-3 figure — plus fold-path engine throughput for each, with label
+equivalence validated before anything is timed.
+
 Every speedup is validated for output equivalence before it is timed.
 Seeds are fixed; only the wall-clock numbers vary between machines.
 
@@ -62,7 +69,11 @@ from repro.net.trace import Trace
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_hot_path.json"
 DEFAULT_ENGINE_OUT = REPO_ROOT / "BENCH_engine.json"
+DEFAULT_STATE_OUT = REPO_ROOT / "BENCH_state.json"
 SEED = 2009
+
+#: The paper's Table-3 per-flow state at b=32 (the "~200 B" claim).
+PAPER_STATE_CLAIM_BYTES = 195
 
 _NATURE_GENERATORS = (
     (TEXT, generate_text_file),
@@ -401,6 +412,166 @@ def bench_delay_ratio(
     }
 
 
+def fragmented_fill_trace(
+    n_flows: int, payload_bytes: int, packets_per_flow: int, seed: int
+) -> "tuple[Trace, list[list[bytes]]]":
+    """A trace where every flow's payload arrives in several packets.
+
+    Returns the trace plus each flow's chunk list (in arrival order), so
+    state accounting can replay the exact fragmentation offline. Chunks
+    interleave across flows round-robin — the realistic shape for the
+    fold path, where many flows are mid-accumulation at once.
+    """
+    buffers = synthetic_buffers(n_flows, payload_bytes, seed)
+    chunk_size = max(1, payload_bytes // packets_per_flow)
+    flow_chunks = [
+        [buf[i : i + chunk_size] for i in range(0, len(buf), chunk_size)]
+        for buf in buffers
+    ]
+    packets = []
+    dt = 0.0005
+    rounds = max(len(chunks) for chunks in flow_chunks)
+    step = 0
+    for round_index in range(rounds):
+        for flow_index, chunks in enumerate(flow_chunks):
+            if round_index >= len(chunks):
+                continue
+            packets.append(
+                Packet(
+                    ip=Ipv4Header(
+                        src=f"10.{(flow_index >> 16) & 255}."
+                        f"{(flow_index >> 8) & 255}.{flow_index & 255}",
+                        dst="192.168.0.2",
+                        protocol=17,
+                    ),
+                    transport=UdpHeader(
+                        src_port=1024 + (flow_index % 60000), dst_port=443
+                    ),
+                    payload=chunks[round_index],
+                    timestamp=step * dt,
+                )
+            )
+            step += 1
+    return Trace(packets=packets), flow_chunks
+
+
+def bench_state(
+    n_flows: int,
+    payload_bytes: int,
+    packets_per_flow: int,
+    per_class: int,
+    repeat: int,
+    seed: int,
+    buffer_size: int = 32,
+    model: str = "svm",
+) -> dict:
+    """Per-flow state bytes and fold-path throughput: incremental vs buffered.
+
+    Both extractors run the same fragmented trace through the same
+    classifier; labels must match exactly before anything is timed.
+    State bytes are computed exactly for every flow in both
+    representations (the buffered side charges window + distinct-counter
+    walk + CDB record; the incremental side counters + boundary carry +
+    CDB record), so the medians are directly comparable to the paper's
+    ~200 B Table-3 figure.
+    """
+    from repro.core.accounting import flow_state_bytes
+    from repro.core.extract import IncrementalEntropyExtractor
+
+    files, labels = labelled_training_files(per_class, 2048, seed)
+    classifier = IustitiaClassifier(model=model, buffer_size=buffer_size)
+    classifier.fit_files(files, labels)
+    trace, flow_chunks = fragmented_fill_trace(
+        n_flows, payload_bytes, packets_per_flow, seed + 1
+    )
+    # The incremental extractor retains no payload, so the comparison
+    # runs the pure first-b-bytes pipeline on both sides.
+    pipeline = IustitiaConfig(buffer_size=buffer_size, strip_known_headers=False)
+
+    def run(extractor: str, telemetry: bool = True) -> StagedEngine:
+        engine = StagedEngine(
+            classifier,
+            EngineConfig(
+                extractor=extractor,
+                max_batch=32,
+                max_delay=1e9,
+                telemetry=telemetry,
+                pipeline=pipeline,
+            ),
+            sinks=[StatsSink()],
+        )
+        engine.process_trace(trace, sample_interval=1e9)
+        return engine
+
+    # Equivalence gate: folding counters at arrival must reproduce the
+    # buffered path's labels exactly on the same fragmented stream.
+    buffered_labels = {c.key: c.label for c in run("batch").stats.classified}
+    incremental_labels = {
+        c.key: c.label for c in run("incremental").stats.classified
+    }
+    if buffered_labels != incremental_labels:
+        raise AssertionError(
+            "incremental extractor changed labels on the fold path"
+        )
+
+    feature_set = classifier.feature_set
+    offline = IncrementalEntropyExtractor(feature_set, buffer_size)
+    incremental_bytes = []
+    buffered_bytes = []
+    for chunks in flow_chunks:
+        state = offline.new_state()
+        for chunk in chunks:
+            offline.fold(state, chunk)
+        incremental_bytes.append(offline.state_bytes(state))
+        window = b"".join(chunks)[:buffer_size]
+        buffered_bytes.append(flow_state_bytes(window, feature_set))
+
+    def describe(values: "list[float]") -> dict:
+        return {
+            "median": float(np.median(values)),
+            "p90": float(np.percentile(values, 90)),
+            "mean": float(np.mean(values)),
+            "max": float(np.max(values)),
+        }
+
+    incremental_stats = describe(incremental_bytes)
+    buffered_stats = describe(buffered_bytes)
+
+    runs = {}
+    for extractor in ("batch", "incremental"):
+        seconds = _best_of(lambda: run(extractor, telemetry=False), repeat)
+        runs[extractor] = {
+            "seconds": seconds,
+            "packets_per_s": len(trace) / seconds,
+            "flows_per_s": n_flows / seconds,
+        }
+
+    return {
+        "model": model,
+        "buffer_size": buffer_size,
+        "n_flows": n_flows,
+        "n_packets": len(trace),
+        "payload_bytes": payload_bytes,
+        "packets_per_flow": packets_per_flow,
+        "paper_claim_bytes": PAPER_STATE_CLAIM_BYTES,
+        "state_bytes": {
+            "incremental": incremental_stats,
+            "buffered": buffered_stats,
+            "incremental_below_buffered": (
+                incremental_stats["median"] < buffered_stats["median"]
+            ),
+        },
+        "fold_throughput": {
+            "runs": runs,
+            "incremental_vs_buffered": (
+                runs["incremental"]["packets_per_s"]
+                / runs["batch"]["packets_per_s"]
+            ),
+        },
+        "labels_identical": True,
+    }
+
+
 def collect_results(
     n_buffers: int = 256,
     buffer_bytes: int = 1024,
@@ -468,10 +639,43 @@ def collect_engine_results(
     return results
 
 
+def collect_state_results(
+    n_flows: int = 400,
+    payload_bytes: int = 64,
+    packets_per_flow: int = 4,
+    per_class: int = 30,
+    repeat: int = 3,
+    seed: int = SEED,
+) -> dict:
+    """Extractor state comparison, as the ``BENCH_state.json`` payload."""
+    results = {
+        "generated_by": "benchmarks/run_perf.py",
+        "seed": seed,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "extractor_state": bench_state(
+            n_flows, payload_bytes, packets_per_flow, per_class, repeat, seed
+        ),
+    }
+    # Headline numbers at the top level, where CI and readers look first.
+    state = results["extractor_state"]["state_bytes"]
+    results["paper_claim_bytes"] = (
+        results["extractor_state"]["paper_claim_bytes"]
+    )
+    results["incremental_median_bytes"] = state["incremental"]["median"]
+    results["buffered_median_bytes"] = state["buffered"]["median"]
+    results["incremental_below_buffered"] = state["incremental_below_buffered"]
+    return results
+
+
 def main(argv: "list[str] | None" = None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     parser.add_argument("--engine-out", type=Path, default=DEFAULT_ENGINE_OUT)
+    parser.add_argument("--state-out", type=Path, default=DEFAULT_STATE_OUT)
     parser.add_argument("--buffers", type=int, default=256)
     parser.add_argument("--buffer-bytes", type=int, default=1024)
     parser.add_argument("--cart-rows", type=int, default=10_000)
@@ -480,6 +684,9 @@ def main(argv: "list[str] | None" = None) -> dict:
     parser.add_argument("--e2e-per-class", type=int, default=30)
     parser.add_argument("--engine-flows", type=int, default=600)
     parser.add_argument("--engine-payload-bytes", type=int, default=40)
+    parser.add_argument("--state-flows", type=int, default=400)
+    parser.add_argument("--state-payload-bytes", type=int, default=64)
+    parser.add_argument("--state-packets-per-flow", type=int, default=4)
     parser.add_argument("--delay-flows", type=int, default=300)
     parser.add_argument("--delay-duration", type=float, default=60.0)
     parser.add_argument("--repeat", type=int, default=3)
@@ -500,6 +707,7 @@ def main(argv: "list[str] | None" = None) -> dict:
         args.e2e_buffers, args.e2e_per_class = 8, 4
         args.engine_flows = 48
         args.delay_flows, args.delay_duration = 40, 10.0
+        args.state_flows = 36
         args.repeat = 1
     results = collect_results(
         n_buffers=args.buffers,
@@ -545,7 +753,33 @@ def main(argv: "list[str] | None" = None) -> dict:
         f"(ratio {engine_results['delay_ratio']:.3f})"
     )
     print(f"wrote {args.engine_out}")
+
+    state_results = collect_state_results(
+        n_flows=args.state_flows,
+        payload_bytes=args.state_payload_bytes,
+        packets_per_flow=args.state_packets_per_flow,
+        per_class=args.e2e_per_class,
+        repeat=args.repeat,
+        seed=args.seed,
+    )
+    args.state_out.write_text(json.dumps(state_results, indent=2) + "\n")
+    state = state_results["extractor_state"]["state_bytes"]
+    print(
+        f"extractor_state: incremental median "
+        f"{state['incremental']['median']:,.0f} B vs buffered "
+        f"{state['buffered']['median']:,.0f} B per flow "
+        f"(paper claim ~{state_results['paper_claim_bytes']} B)"
+    )
+    fold = state_results["extractor_state"]["fold_throughput"]
+    print(
+        f"fold_throughput: incremental "
+        f"{fold['runs']['incremental']['packets_per_s']:,.0f} packets/s vs "
+        f"buffered {fold['runs']['batch']['packets_per_s']:,.0f} packets/s "
+        f"({fold['incremental_vs_buffered']:.2f}x)"
+    )
+    print(f"wrote {args.state_out}")
     results["engine"] = engine_results
+    results["state"] = state_results
     return results
 
 

@@ -110,6 +110,12 @@ def open_engine(
     regardless of what else is attached. ``registry`` shares a metrics
     registry with the engine's instruments (one is created per engine
     otherwise, unless ``config.telemetry`` is off).
+
+    ``EngineConfig(extractor="incremental")`` switches the engine's
+    per-flow feature pipeline from payload buffering to fold-at-arrival
+    k-gram counting (no payload retained — the paper's ~200 B state
+    shape); it requires a pure first-``b``-bytes pipeline (no header
+    stripping/skipping, no random skip, no estimation).
     """
     if isinstance(classifier, (str, os.PathLike)):
         classifier = load_model(classifier)

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro.cli classify   model.json capture.pcap
                                    [--labels labels.json] [--json out.json]
                                    [--metrics metrics.prom]
+                                   [--extractor batch|incremental]
 
 ``gen-trace`` writes a synthetic gateway trace as a classic pcap plus an
 optional ground-truth label file; ``train`` builds a classifier from a
@@ -30,7 +31,7 @@ import json
 import sys
 
 from repro.api import load_model, open_engine, save_model, train
-from repro.core.config import IustitiaConfig
+from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.labels import FlowNature
 from repro.data.corpus import build_corpus
 from repro.net.flow import FlowKey
@@ -108,9 +109,21 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         }
 
     trace = Trace(packets=read_pcap(args.pcap), labels=labels)
-    engine = open_engine(
-        classifier, IustitiaConfig(buffer_size=classifier.buffer_size)
+    extractor = getattr(args, "extractor", "batch")
+    pipeline = IustitiaConfig(
+        buffer_size=classifier.buffer_size,
+        # The incremental extractor folds counters at arrival and keeps
+        # no payload, so it cannot re-window flows for header stripping.
+        strip_known_headers=(extractor == "batch"),
     )
+    try:
+        engine = open_engine(
+            classifier, EngineConfig(extractor=extractor, pipeline=pipeline)
+        )
+    except ValueError as exc:
+        print(f"error: cannot use --extractor {extractor}: {exc}",
+              file=sys.stderr)
+        return 2
     stats = engine.process_trace(trace)
 
     results = []
@@ -178,6 +191,15 @@ def build_parser() -> argparse.ArgumentParser:
     classify.add_argument(
         "--metrics",
         help="write the run's telemetry in Prometheus text format to this path",
+    )
+    classify.add_argument(
+        "--extractor",
+        choices=("batch", "incremental"),
+        default="batch",
+        help="per-flow feature pipeline: buffer payload and extract at "
+        "drain time (batch, default; enables header stripping) or fold "
+        "k-gram counters at packet arrival with no payload retained "
+        "(incremental)",
     )
     classify.set_defaults(func=_cmd_classify)
     return parser

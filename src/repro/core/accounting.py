@@ -27,6 +27,8 @@ __all__ = [
     "estimation_space_bytes",
     "exact_space_bytes",
     "flow_state_bytes",
+    "incremental_flow_state_bytes",
+    "incremental_space_bytes",
 ]
 
 #: Counter width: 2 bytes count up to 65535 occurrences, enough for any
@@ -81,6 +83,49 @@ def estimation_space_bytes(
         raise ValueError(f"counter_bytes must be >= 1, got {counter_bytes}")
     h1_counters = 256 if 1 in features.widths else 0
     return counter_bytes * (budget.total_counters(features) + h1_counters)
+
+
+def incremental_space_bytes(
+    num_counters: int,
+    carry_bytes: int,
+    counter_bytes: int = DEFAULT_COUNTER_BYTES,
+) -> int:
+    """Per-flow bytes for incremental (fold-at-arrival) exact calculation.
+
+    Counters plus the ``max_width - 1`` boundary carry only — the
+    incremental extractor folds each packet into its k-gram count tables
+    on arrival and never retains the payload, so the buffer term of
+    :func:`exact_space_bytes` disappears. ``num_counters`` is the number
+    of *non-zero* counters actually held (the empirical ``alpha``), and
+    ``carry_bytes`` the trailing bytes kept to stitch grams across
+    packet boundaries.
+    """
+    if num_counters < 0:
+        raise ValueError(f"num_counters must be >= 0, got {num_counters}")
+    if carry_bytes < 0:
+        raise ValueError(f"carry_bytes must be >= 0, got {carry_bytes}")
+    if counter_bytes < 1:
+        raise ValueError(f"counter_bytes must be >= 1, got {counter_bytes}")
+    return counter_bytes * num_counters + carry_bytes
+
+
+def incremental_flow_state_bytes(
+    num_counters: int,
+    carry_bytes: int,
+    counter_bytes: int = DEFAULT_COUNTER_BYTES,
+) -> float:
+    """Engine-telemetry view of incremental per-flow state, CDB included.
+
+    The exact (not sampled) counterpart of :func:`flow_state_bytes` for
+    the incremental extractor: counter tables + boundary carry + the
+    194-bit CDB record the flow occupies once labelled. Comparable
+    one-for-one against the paper's ~200 B Table-3 figure and against
+    the buffered baseline's :func:`flow_state_bytes`.
+    """
+    return (
+        incremental_space_bytes(num_counters, carry_bytes, counter_bytes)
+        + RECORD_BYTES
+    )
 
 
 def flow_state_bytes(

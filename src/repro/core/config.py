@@ -116,6 +116,14 @@ class EngineConfig:
     max_delay: float = 0.05
     #: Instrument the engine with a :class:`repro.obs.MetricsRegistry`.
     telemetry: bool = True
+    #: Per-flow feature pipeline: ``"batch"`` buffers raw payload and
+    #: extracts at drain time (default; required for header stripping /
+    #: skipping and estimation); ``"incremental"`` folds k-gram counters
+    #: at packet arrival and retains no payload (the paper's ~200 B
+    #: state shape). A custom factory callable ``(feature_set,
+    #: buffer_size) -> FeatureExtractor`` plugs in alternative fragment
+    #: features (see :mod:`repro.core.extract`).
+    extractor: "str | object" = "batch"
     #: Template for the remaining pipeline knobs (feature set, header
     #: handling, CDB purging, Section-4.6 defenses).
     pipeline: "IustitiaConfig | None" = None
@@ -127,6 +135,19 @@ class EngineConfig:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if isinstance(self.extractor, str):
+            from repro.core.extract import EXTRACTORS
+
+            if self.extractor not in EXTRACTORS:
+                raise ValueError(
+                    f"unknown extractor {self.extractor!r}; expected one of "
+                    f"{', '.join(sorted(EXTRACTORS))}"
+                )
+        elif not callable(self.extractor):
+            raise TypeError(
+                "extractor must be a registry name or a factory callable, "
+                f"got {type(self.extractor).__name__}"
+            )
         base = self.pipeline if self.pipeline is not None else IustitiaConfig()
         resolved = replace(
             base,

@@ -27,6 +27,7 @@ import numpy as np
 __all__ = [
     "PACKED_MAX_K",
     "byte_entropy",
+    "encode_kgram_stream",
     "kgram_count_values",
     "kgram_counts",
     "kgram_counts_packed",
@@ -98,6 +99,30 @@ def packed_kgram_keys(arr: np.ndarray, k: int) -> np.ndarray:
         keys <<= np.uint64(8)
         keys |= wide[..., j : j + n]
     return keys
+
+
+def encode_kgram_stream(
+    data: "bytes | bytearray | np.ndarray", k: int
+) -> np.ndarray:
+    """Encode the k-gram stream of ``data`` as an array of comparable codes.
+
+    The one packing convention shared by exact counting
+    (:func:`kgram_counts_packed`), the batch extractor, and the streaming
+    estimators: for ``k <= PACKED_MAX_K`` each k-gram packs big-endian
+    into a ``uint64`` (sorted keys enumerate grams lexicographically);
+    wider grams fall back to a void-dtype view. Either encoding supports
+    elementwise ``==`` against a scalar, which is all suffix counting
+    needs.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    arr = _as_byte_array(data)
+    if arr.size < k:
+        raise ValueError(f"need at least k={k} bytes, got {arr.size}")
+    if k <= PACKED_MAX_K:
+        return packed_kgram_keys(arr, k)
+    windows = np.lib.stride_tricks.sliding_window_view(arr, k)
+    return np.ascontiguousarray(windows).view(np.dtype((np.void, k))).ravel()
 
 
 def _counts_from_sorted(keys: np.ndarray) -> np.ndarray:

@@ -1,0 +1,340 @@
+"""Pluggable per-flow feature extraction (Section 4.4's "on the fly" claim).
+
+The online story of the paper rests on entropy vectors computed over the
+first ``b`` bytes of a flow with ~200 B of per-flow state. A
+:class:`FeatureExtractor` owns everything between packet arrival and the
+feature matrix handed to the model:
+
+* what per-flow state a buffering flow carries (:meth:`new_state`),
+* how an arriving payload chunk updates it (:meth:`fold`),
+* how a batch of ready flows becomes an ``(n, d)`` entropy-vector matrix
+  (:meth:`finalize`), and
+* how many bytes that state actually costs (:meth:`state_bytes`).
+
+Two implementations:
+
+* :class:`BatchEntropyExtractor` — the historical path: the state *is*
+  the raw byte buffer; finalize runs the batched sliding-window kernels
+  (:func:`repro.core.entropy_vector.entropy_vectors_batch`, or the
+  classifier's (delta, epsilon) estimator). Retaining the payload is what
+  enables header stripping, threshold skipping, and the random-skip
+  defense, so this remains the default.
+* :class:`IncrementalEntropyExtractor` — the paper's Section-4.4 shape:
+  per-flow state is one k-gram count table per feature width plus the
+  trailing ``max_width - 1`` boundary bytes (so grams spanning packet
+  boundaries are counted); each arriving packet folds in immediately and
+  **no payload is retained**. Finalizing is an O(counters) entropy
+  computation, vector-identical to the batch path on the same first-``b``
+  bytes regardless of how packets fragment them.
+
+Extractors are selected by name through
+:class:`repro.core.config.EngineConfig(extractor=...)`; third-party
+fragment features (HEDGE-style byte-frequency tests, compression probes)
+can plug in by implementing the same five methods.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.accounting import (
+    flow_state_bytes,
+    incremental_flow_state_bytes,
+)
+from repro.core.entropy import (
+    PACKED_MAX_K,
+    encode_kgram_stream,
+    entropy_from_counts,
+)
+from repro.core.features import FeatureSet
+
+__all__ = [
+    "EXTRACTORS",
+    "BatchEntropyExtractor",
+    "BufferedFlowState",
+    "FeatureExtractor",
+    "IncrementalEntropyExtractor",
+    "IncrementalFlowState",
+    "make_extractor",
+]
+
+
+class FeatureExtractor:
+    """Base/protocol of the per-flow feature pipeline.
+
+    Concrete extractors are constructed once per engine (they are
+    flyweights: all per-flow data lives in the state objects they mint)
+    and must set three class attributes:
+
+    * ``name`` — registry key, reported in telemetry labels;
+    * ``retains_payload`` — True when the state keeps raw bytes the
+      engine may re-window at readiness (header stripping / skipping
+      need the payload; pure streaming extractors set False and the
+      engine classifies straight from state);
+    * ``exact_state_accounting`` — True when :meth:`state_bytes` is
+      cheap enough to charge every flow (the engine then records the
+      state-size histogram exactly instead of sampling).
+    """
+
+    name: str = "abstract"
+    retains_payload: bool = True
+    exact_state_accounting: bool = False
+
+    def __init__(self, feature_set: FeatureSet, buffer_size: int) -> None:
+        if buffer_size < feature_set.max_width:
+            raise ValueError(
+                f"buffer_size {buffer_size} cannot hold the widest feature "
+                f"h_{feature_set.max_width}"
+            )
+        self.feature_set = feature_set
+        self.buffer_size = buffer_size
+
+    def new_state(self):
+        """Fresh per-flow state for a flow that just started buffering."""
+        raise NotImplementedError
+
+    def fold(self, state, payload: "bytes | memoryview") -> None:
+        """Absorb one arriving payload chunk into the flow's state."""
+        raise NotImplementedError
+
+    def folded_bytes(self, state) -> int:
+        """Bytes of classification window the state has absorbed so far."""
+        raise NotImplementedError
+
+    def raw_window(self, state) -> bytes:
+        """The retained raw payload (only when ``retains_payload``)."""
+        raise NotImplementedError
+
+    def finalize(self, payloads: list, classifier) -> np.ndarray:
+        """Feature matrix of a ready batch.
+
+        ``payloads`` are what the engine queued per flow: frozen windows
+        (``bytes``) when ``retains_payload``, otherwise the per-flow
+        state objects themselves. ``classifier`` is the engine's
+        :class:`~repro.core.classifier.IustitiaClassifier`, supplied so
+        payload-retaining extractors can reuse its (possibly estimated)
+        vector path.
+        """
+        raise NotImplementedError
+
+    def state_bytes(self, payload) -> float:
+        """Exact per-flow state size for the accounting histogram."""
+        raise NotImplementedError
+
+
+class BufferedFlowState:
+    """Per-flow state of the batch path: the raw payload buffer."""
+
+    __slots__ = ("buffer",)
+
+    def __init__(self) -> None:
+        self.buffer = bytearray()
+
+
+class BatchEntropyExtractor(FeatureExtractor):
+    """The buffered baseline: accumulate payload, extract at drain time.
+
+    The state retains every payload byte (up to the engine's buffering
+    target), which is what allows re-windowing at readiness — header
+    stripping, threshold skipping, and the random-skip defense all need
+    the raw bytes. Finalize delegates to the classifier's batched vector
+    path, so estimation-mode classifiers keep working unchanged.
+    """
+
+    name = "batch"
+    retains_payload = True
+    exact_state_accounting = False
+
+    def new_state(self) -> BufferedFlowState:
+        return BufferedFlowState()
+
+    def fold(self, state: BufferedFlowState, payload) -> None:
+        state.buffer.extend(payload)
+
+    def folded_bytes(self, state: BufferedFlowState) -> int:
+        return len(state.buffer)
+
+    def raw_window(self, state: BufferedFlowState) -> bytes:
+        return bytes(state.buffer)
+
+    def finalize(self, payloads: "list[bytes]", classifier) -> np.ndarray:
+        return classifier.buffer_vectors(payloads)
+
+    def state_bytes(self, payload: bytes) -> float:
+        return flow_state_bytes(payload, self.feature_set)
+
+
+class IncrementalFlowState:
+    """Per-flow state of the incremental path: counters, no payload.
+
+    ``h1`` is a flat 256-bin count array (when ``h_1`` is a feature);
+    ``counts`` holds one dict per multi-byte width mapping packed k-gram
+    key -> multiplicity; ``carry`` is the trailing ``max_width - 1``
+    bytes of the folded stream, kept so grams spanning a packet boundary
+    are counted exactly once; ``folded`` counts window bytes absorbed
+    (capped at the extractor's ``buffer_size``).
+    """
+
+    __slots__ = ("h1", "counts", "carry", "folded")
+
+    def __init__(self, with_h1: bool, n_multi: int) -> None:
+        self.h1 = np.zeros(256, dtype=np.int64) if with_h1 else None
+        self.counts: "tuple[dict, ...]" = tuple({} for _ in range(n_multi))
+        self.carry = b""
+        self.folded = 0
+
+    @property
+    def num_counters(self) -> int:
+        """Non-zero k-gram counters currently held (the paper's alpha)."""
+        total = sum(len(d) for d in self.counts)
+        if self.h1 is not None:
+            total += int(np.count_nonzero(self.h1))
+        return total
+
+
+class IncrementalEntropyExtractor(FeatureExtractor):
+    """Fold k-gram counts at packet arrival; finalize from counters only.
+
+    Each :meth:`fold` packs the new chunk's k-grams (prefixed with the
+    boundary carry) through the same :func:`encode_kgram_stream`
+    convention the batch kernels use, and bumps the per-width count
+    tables. The first ``buffer_size`` window bytes are absorbed; later
+    bytes are ignored (the batch path truncates its window identically).
+    :meth:`finalize` is Formula (1) over the accumulated counts — no
+    payload ever retained, so per-flow state is the counters plus a
+    ``max_width - 1`` byte carry, the representation behind the paper's
+    ~200 B figure.
+
+    Because no payload survives, this extractor cannot re-window at
+    readiness: the engine rejects configurations that need the raw bytes
+    back (header stripping, threshold skipping, random skip, or
+    (delta, epsilon) estimation).
+    """
+
+    name = "incremental"
+    retains_payload = False
+    exact_state_accounting = True
+
+    def __init__(self, feature_set: FeatureSet, buffer_size: int) -> None:
+        super().__init__(feature_set, buffer_size)
+        self._with_h1 = 1 in feature_set.widths
+        self._multi_widths = tuple(k for k in feature_set.widths if k != 1)
+        self._carry_bytes = feature_set.max_width - 1
+
+    def new_state(self) -> IncrementalFlowState:
+        return IncrementalFlowState(self._with_h1, len(self._multi_widths))
+
+    def fold(self, state: IncrementalFlowState, payload) -> None:
+        remaining = self.buffer_size - state.folded
+        if remaining <= 0 or not payload:
+            return
+        chunk = bytes(payload[:remaining])
+        arr = np.frombuffer(chunk, dtype=np.uint8)
+        if state.h1 is not None:
+            state.h1 += np.bincount(arr, minlength=256)
+        carry = state.carry
+        for k, counts in zip(self._multi_widths, state.counts):
+            # The k-grams introduced by this chunk are exactly the width-k
+            # windows of (last k-1 folded bytes + chunk): each contains at
+            # least one new byte, and every new-byte-containing window of
+            # the full stream appears once.
+            ctx = carry[-(k - 1):] + chunk if carry else chunk
+            if len(ctx) < k:
+                continue
+            keys = encode_kgram_stream(ctx, k)
+            uniques, multiplicities = np.unique(keys, return_counts=True)
+            if k <= PACKED_MAX_K:
+                gram_keys = uniques.tolist()
+            else:
+                gram_keys = [u.tobytes() for u in uniques]
+            for key, count in zip(gram_keys, multiplicities.tolist()):
+                counts[key] = counts.get(key, 0) + count
+        if self._carry_bytes:
+            state.carry = (carry + chunk)[-self._carry_bytes:]
+        state.folded += len(chunk)
+
+    def folded_bytes(self, state: IncrementalFlowState) -> int:
+        return state.folded
+
+    def raw_window(self, state) -> bytes:
+        raise TypeError(
+            "IncrementalEntropyExtractor retains no payload; there is no "
+            "raw window to recover"
+        )
+
+    def vector(self, state: IncrementalFlowState) -> np.ndarray:
+        """Entropy vector of one flow from its accumulated counters."""
+        if state.folded < self.feature_set.max_width:
+            raise ValueError(
+                f"state holds {state.folded} bytes, cannot produce feature "
+                f"h_{self.feature_set.max_width}"
+            )
+        values = np.empty(len(self.feature_set.widths), dtype=np.float64)
+        slot = 0
+        for i, k in enumerate(self.feature_set.widths):
+            if k == 1:
+                counts = state.h1[state.h1 > 0]
+            else:
+                table = state.counts[slot]
+                slot += 1
+                counts = np.fromiter(
+                    table.values(), dtype=np.float64, count=len(table)
+                )
+            values[i] = entropy_from_counts(counts, k)
+        return values
+
+    def finalize(
+        self, payloads: "list[IncrementalFlowState]", classifier
+    ) -> np.ndarray:
+        return np.vstack([self.vector(state) for state in payloads])
+
+    def state_bytes(self, payload: IncrementalFlowState) -> float:
+        return incremental_flow_state_bytes(
+            payload.num_counters, len(payload.carry)
+        )
+
+
+#: Extractors selectable by name via ``EngineConfig(extractor=...)``.
+EXTRACTORS: "dict[str, type[FeatureExtractor]]" = {
+    BatchEntropyExtractor.name: BatchEntropyExtractor,
+    IncrementalEntropyExtractor.name: IncrementalEntropyExtractor,
+}
+
+
+def make_extractor(
+    spec, feature_set: FeatureSet, buffer_size: int
+) -> FeatureExtractor:
+    """Resolve an ``EngineConfig.extractor`` spec into a bound extractor.
+
+    ``spec`` is a registry name (``"batch"`` / ``"incremental"``), an
+    extractor *class*, or any callable factory accepting
+    ``(feature_set, buffer_size)`` — the hook for third-party fragment
+    features.
+    """
+    if isinstance(spec, FeatureExtractor):
+        raise TypeError(
+            "pass an extractor name or factory, not an instance: extractors "
+            "are bound to one engine's feature set and buffer size"
+        )
+    if isinstance(spec, str):
+        try:
+            factory = EXTRACTORS[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown extractor {spec!r}; expected one of "
+                f"{', '.join(sorted(EXTRACTORS))}"
+            ) from None
+    elif callable(spec):
+        factory = spec
+    else:
+        raise TypeError(
+            f"extractor must be a name or a factory, got {type(spec).__name__}"
+        )
+    extractor = factory(feature_set, buffer_size)
+    for attr in ("new_state", "fold", "folded_bytes", "finalize", "state_bytes"):
+        if not callable(getattr(extractor, attr, None)):
+            raise TypeError(
+                f"{type(extractor).__name__} does not implement the "
+                f"FeatureExtractor protocol (missing {attr})"
+            )
+    return extractor

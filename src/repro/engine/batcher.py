@@ -25,14 +25,18 @@ __all__ = ["DRAIN_REASONS", "MicroBatcher", "ReadyFlow"]
 class ReadyFlow:
     """A flow whose classification window is frozen and awaiting a drain.
 
-    The window is captured when the flow becomes ready (buffer full, FIN,
-    or timeout) — exactly the bytes the monolithic engine would have
-    classified at that moment — so batching changes *when* the model
-    runs, never *what* it sees.
+    ``window`` is whatever the engine's extractor hands to
+    :meth:`~repro.core.extract.FeatureExtractor.finalize`: the frozen
+    payload window (``bytes``) for payload-retaining extractors —
+    exactly the bytes the monolithic engine would have classified at
+    that moment — or the flow's accumulated state object (e.g. k-gram
+    count tables) for streaming extractors. Either way it is captured
+    when the flow becomes ready (buffer full, FIN, or timeout), so
+    batching changes *when* the model runs, never *what* it sees.
     """
 
     flow_id: bytes
-    window: bytes
+    window: "bytes | object"
     protocol: "str | None"
 
 

@@ -6,13 +6,16 @@ Figure 1 draws and the monolithic ``IustitiaEngine`` fused together:
 1. **hash + shard** — SHA-1 the 5-tuple, route to a shard of the
    :class:`~repro.engine.flow_table.ShardedFlowTable`;
 2. **CDB lookup** — known flows forward straight to the sinks;
-3. **buffer** — unknown flows accumulate payload in the shard's pending
-   table, with their inactivity deadline kept by the
+3. **buffer / fold** — unknown flows accumulate per-flow feature state
+   in the shard's pending table: each data packet folds through the
+   engine's :class:`~repro.core.extract.FeatureExtractor` (raw payload
+   for the batch extractor, k-gram counters for the incremental one),
+   with the flow's inactivity deadline kept by the
    :class:`~repro.engine.deadlines.DeadlineWheel`;
 4. **extract + classify** — flows whose window is ready (buffer full,
    FIN/RST, or deadline expiry) queue in the
    :class:`~repro.engine.batcher.MicroBatcher` and drain through one
-   ``classify_buffers`` call per batch;
+   extractor ``finalize`` + vectorized predict call per batch;
 5. **forward** — outcomes fan out to the pluggable
    :class:`~repro.engine.sinks.ResultSink` list.
 
@@ -27,12 +30,13 @@ path.
 from __future__ import annotations
 
 import warnings
+from time import perf_counter
 
 import numpy as np
 
-from repro.core.accounting import flow_state_bytes
 from repro.core.classifier import IustitiaClassifier
 from repro.core.config import EngineConfig, IustitiaConfig
+from repro.core.extract import make_extractor
 from repro.core.headers import skip_threshold, strip_app_header
 from repro.core.labels import ALL_NATURES, FlowNature
 from repro.engine.batcher import MicroBatcher, ReadyFlow
@@ -123,10 +127,38 @@ class StagedEngine:
             raise ValueError(
                 "engine buffer_size cannot hold the classifier's widest feature"
             )
+        # The window the model actually sees is truncated twice on the
+        # batch path (engine window, then classifier); bind the extractor
+        # to the smaller bound so the incremental path folds exactly the
+        # bytes the batch path would classify.
+        self.extractor = make_extractor(
+            engine_config.extractor,
+            feature_set=classifier.feature_set,
+            buffer_size=min(self.config.buffer_size, classifier.buffer_size),
+        )
+        if not self.extractor.retains_payload:
+            needs_payload = [
+                name
+                for name, active in (
+                    ("strip_known_headers", self.config.strip_known_headers),
+                    ("header_threshold > 0", self.config.header_threshold > 0),
+                    ("random_skip_max > 0", self.config.random_skip_max > 0),
+                    ("estimation", classifier.estimator is not None),
+                )
+                if active
+            ]
+            if needs_payload:
+                raise ValueError(
+                    f"extractor {self.extractor.name!r} retains no payload, "
+                    "so the engine cannot re-window flows at readiness; "
+                    f"disable {', '.join(needs_payload)} or use the 'batch' "
+                    "extractor"
+                )
         self.table = ShardedFlowTable(
             num_shards=engine_config.num_shards,
             purge_coefficient=self.config.purge_coefficient,
             purge_trigger_flows=self.config.purge_trigger_flows,
+            extractor=self.extractor,
         )
         self.wheel = DeadlineWheel()
         self.batcher = MicroBatcher(
@@ -157,9 +189,13 @@ class StagedEngine:
 
     def _bind_metrics(self, registry: "MetricsRegistry | None") -> None:
         """Create this engine's instruments (every stage binds too)."""
+        self._fold_seconds = 0.0
+        self._fold_calls = 0
+        self._time_folds = registry is not None
         if registry is None:
             self._m_delay = None
             self._m_classify = None
+            self._m_finalize = None
             self._m_state_bytes = None
             self._m_cdb_hits = None
             self._m_unclassifiable = None
@@ -179,13 +215,31 @@ class StagedEngine:
         )
         self._m_classify = registry.histogram(
             "engine_classify_batch_seconds",
-            help="Wall-clock seconds per micro-batched classify_buffers call",
+            help="Wall-clock seconds per micro-batched classify call",
+        )
+        self._m_finalize = registry.histogram(
+            "extractor_finalize_seconds",
+            help="Wall-clock seconds per batched extractor finalize "
+            "(feature-matrix construction inside the classify call)",
+            extractor=self.extractor.name,
+        )
+        self._m_fold_seconds = registry.counter(
+            "extractor_fold_seconds_total",
+            help="Cumulative wall-clock seconds folding arriving payload "
+            "into per-flow feature state",
+            extractor=self.extractor.name,
+        )
+        self._m_folds = registry.counter(
+            "extractor_folds_total",
+            help="Payload chunks folded into per-flow feature state",
+            extractor=self.extractor.name,
         )
         self._m_state_bytes = registry.histogram(
             "engine_flow_state_bytes",
             buckets=STATE_BYTE_BUCKETS,
-            help="Sampled per-flow state (window + exact counters + CDB "
-            "record; the paper's ~200 B claim at b=32)",
+            help="Per-flow state at classification (window/counters + CDB "
+            "record; the paper's ~200 B claim at b=32) — exact per flow "
+            "when the extractor affords it, sampled otherwise",
         )
         self._m_cdb_hits = registry.counter(
             "engine_cdb_hits_total",
@@ -211,7 +265,12 @@ class StagedEngine:
         self._delay_buf: list[float] = []
         # Last stats values pushed into the counters: deltas are tracked
         # per engine, so engines sharing a registry still aggregate.
-        self._synced_counts = {"cdb_hits": 0, "reclassifications": 0}
+        self._synced_counts = {
+            "cdb_hits": 0,
+            "reclassifications": 0,
+            "fold_seconds": 0.0,
+            "fold_calls": 0,
+        }
         self._synced_classified = {nature: 0 for nature in ALL_NATURES}
         registry.add_collector(self._collect_metrics)
 
@@ -243,6 +302,12 @@ class StagedEngine:
             self.stats.reclassifications - synced["reclassifications"]
         )
         synced["reclassifications"] = self.stats.reclassifications
+        # Fold timing accumulates in plain floats/ints on the packet path;
+        # level the labeled counters up to them here.
+        self._m_fold_seconds.inc(self._fold_seconds - synced["fold_seconds"])
+        synced["fold_seconds"] = self._fold_seconds
+        self._m_folds.inc(self._fold_calls - synced["fold_calls"])
+        synced["fold_calls"] = self._fold_calls
 
     # -- stage 3/4 helpers ----------------------------------------------------
 
@@ -280,16 +345,31 @@ class StagedEngine:
     def _make_ready(
         self, flow_id: bytes, pending: PendingFlow, now: float, force: bool
     ) -> "dict[bytes, FlowNature]":
-        """Freeze a flow's window and hand it to the batcher.
+        """Freeze a flow's classification payload and hand it to the batcher.
 
-        Too-short windows are dropped as unclassifiable on the spot (the
-        window cannot improve: readiness means the buffer is full, the
-        flow closed, or its deadline expired). Returns whatever the push
-        drained — non-empty when the size trigger fired or ``force``
-        flushed the queue (FIN/RST needs the label *now*).
+        Payload-retaining extractors surrender their raw window here and
+        the engine re-windows it (header stripping / skipping, random
+        skip); streaming extractors queue the state object itself — no
+        payload exists to re-window, which is why the constructor rejects
+        configs that would need one. Too-short windows are dropped as
+        unclassifiable on the spot (the window cannot improve: readiness
+        means the buffer is full, the flow closed, or its deadline
+        expired). Returns whatever the push drained — non-empty when the
+        size trigger fired or ``force`` flushed the queue (FIN/RST needs
+        the label *now*).
         """
-        window, protocol = self._classification_window(bytes(pending.buffer))
-        if len(window) < self.classifier.feature_set.max_width:
+        if self.extractor.retains_payload:
+            window, protocol = self._classification_window(
+                self.extractor.raw_window(pending.state)
+            )
+            usable = len(window) >= self.classifier.feature_set.max_width
+        else:
+            window, protocol = pending.state, None
+            usable = (
+                self.extractor.folded_bytes(pending.state)
+                >= self.classifier.feature_set.max_width
+            )
+        if not usable:
             self.stats.unclassifiable += 1
             if self._m_unclassifiable is not None:
                 self._m_unclassifiable.inc()
@@ -311,13 +391,17 @@ class StagedEngine:
         self, batch: "list[ReadyFlow]", now: float
     ) -> "dict[bytes, FlowNature]":
         """Classify a drained batch; returns flow_id -> label."""
+        payloads = [r.window for r in batch]
         if self._m_classify is not None:
             with self._m_classify.time():
-                labels = self.classifier.classify_buffers(
-                    [r.window for r in batch]
-                )
+                with self._m_finalize.time():
+                    X = self.extractor.finalize(payloads, self.classifier)
+                labels = self.classifier.predict_vectors(X)
         else:
-            labels = self.classifier.classify_buffers([r.window for r in batch])
+            labels = self.classifier.predict_vectors(
+                self.extractor.finalize(payloads, self.classifier)
+            )
+        exact_state = self.extractor.exact_state_accounting
         results: dict[bytes, FlowNature] = {}
         for ready, label in zip(batch, labels):
             pending = self.table.pending_pop(ready.flow_id)
@@ -326,24 +410,29 @@ class StagedEngine:
             self.stats.per_class[label] += 1
             if self._m_delay is not None:
                 self._delay_buf.append(now - pending.first_arrival)
+                if exact_state:
+                    # O(1) on counter-based state: charge every flow.
+                    self._m_state_bytes.observe(
+                        self.extractor.state_bytes(ready.window)
+                    )
                 self._state_countdown -= 1
                 if self._state_countdown < 0:
                     # One slow-path stop per STATE_SAMPLE_EVERY flows:
-                    # sample the state-size histogram and bucket the
+                    # sample the state-size histogram (when accounting
+                    # costs an extraction-scale walk) and bucket the
                     # deferred delays (bounds the buffer).
                     self._state_countdown = STATE_SAMPLE_EVERY - 1
-                    self._m_state_bytes.observe(
-                        flow_state_bytes(
-                            ready.window, self.classifier.feature_set
+                    if not exact_state:
+                        self._m_state_bytes.observe(
+                            self.extractor.state_bytes(ready.window)
                         )
-                    )
                     self._flush_delay_buf()
             outcome = ClassifiedFlow(
                 key=pending.key,
                 label=label,
                 classified_at=now,
                 buffering_delay=now - pending.first_arrival,
-                buffered_bytes=len(pending.buffer),
+                buffered_bytes=pending.raw_bytes,
                 stripped_protocol=ready.protocol,
             )
             for sink in self.sinks:
@@ -404,7 +493,14 @@ class StagedEngine:
         pending.last_arrival = now
         if packet.payload:
             self.stats.data_packets += 1
-            pending.buffer.extend(packet.payload)
+            pending.raw_bytes += len(packet.payload)
+            if self._time_folds:
+                fold_start = perf_counter()
+                self.extractor.fold(pending.state, packet.payload)
+                self._fold_seconds += perf_counter() - fold_start
+                self._fold_calls += 1
+            else:
+                self.extractor.fold(pending.state, packet.payload)
             pending.packets.append(packet)
 
         result = None
@@ -414,7 +510,7 @@ class StagedEngine:
                 result = self._drain_batcher(now, reason="close").get(flow_id)
         else:
             self.wheel.schedule(flow_id, now + self.config.buffer_timeout)
-            if len(pending.buffer) >= self._target_bytes or is_close:
+            if pending.raw_bytes >= self._target_bytes or is_close:
                 # Buffer full — or the flow is over; classify whatever
                 # arrived (or give up).
                 result = self._make_ready(

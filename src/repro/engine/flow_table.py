@@ -55,6 +55,7 @@ class ShardedFlowTable:
         num_shards: int = 8,
         purge_coefficient: float = 4.0,
         purge_trigger_flows: int = 5000,
+        extractor=None,
     ) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
@@ -64,6 +65,9 @@ class ShardedFlowTable:
             )
         self.num_shards = num_shards
         self.purge_trigger_flows = purge_trigger_flows
+        #: Mints each new pending flow's feature state; None keeps the
+        #: table usable standalone (flows then carry ``state=None``).
+        self.extractor = extractor
         self.shards = [FlowShard(i, purge_coefficient) for i in range(num_shards)]
         self._inserts_since_purge = 0
         self._next_seq = 0
@@ -164,9 +168,20 @@ class ShardedFlowTable:
         return self.shard_of(flow_id).pending.get(flow_id)
 
     def pending_create(self, flow_id: bytes, key, now: float) -> PendingFlow:
-        """Start buffering a new flow; assigns its global arrival ``seq``."""
+        """Start buffering a new flow; assigns its global arrival ``seq``.
+
+        The flow's feature state is minted by the table's extractor, so
+        every packet the engine routes here folds into extractor-owned
+        state rather than an engine-owned byte buffer.
+        """
         pending = PendingFlow(
-            key=key, seq=self._next_seq, first_arrival=now, last_arrival=now
+            key=key,
+            seq=self._next_seq,
+            state=(
+                self.extractor.new_state() if self.extractor is not None else None
+            ),
+            first_arrival=now,
+            last_arrival=now,
         )
         self._next_seq += 1
         self.shard_of(flow_id).pending[flow_id] = pending

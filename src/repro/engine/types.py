@@ -18,7 +18,15 @@ __all__ = ["ClassifiedFlow", "EngineStats", "PendingFlow"]
 
 @dataclass
 class PendingFlow:
-    """Per-flow state while its buffer is filling.
+    """Per-flow state while its classification window is filling.
+
+    ``state`` is whatever the engine's
+    :class:`~repro.core.extract.FeatureExtractor` minted for this flow —
+    the raw payload buffer for the batch extractor, k-gram count tables
+    for the incremental one; arriving payload is folded into it through
+    the extractor, never touched directly. ``raw_bytes`` counts every
+    payload byte that arrived while pending (the buffer-full trigger and
+    the ``buffered_bytes`` the flow reports at classification).
 
     ``seq`` is a global first-packet arrival index: drains iterate pending
     flows in ``seq`` order so the staged engine classifies (and draws any
@@ -30,7 +38,8 @@ class PendingFlow:
 
     key: FlowKey
     seq: int = 0
-    buffer: bytearray = field(default_factory=bytearray)
+    state: object = None
+    raw_bytes: int = 0
     packets: list[Packet] = field(default_factory=list)
     first_arrival: float = 0.0
     last_arrival: float = 0.0

@@ -14,6 +14,7 @@ from repro.ml.metrics import (
 )
 from repro.ml.model_selection import GridSearchResult, grid_search
 from repro.ml.persistence import (
+    ModelFormatError,
     load_classifier,
     load_model,
     save_classifier,
@@ -25,6 +26,7 @@ from repro.ml.validation import StratifiedKFold, cross_validate
 
 __all__ = [
     "BinarySVC",
+    "ModelFormatError",
     "DagSvmClassifier",
     "DecisionTreeClassifier",
     "GridSearchResult",

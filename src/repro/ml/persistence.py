@@ -6,8 +6,13 @@ the two model families — CART trees and DAGSVM ensembles — plus the
 :class:`repro.core.classifier.IustitiaClassifier` wrapper to plain JSON:
 numbers, lists, and dicts only.
 
-Format: a top-level ``{"format": ..., "version": 1, ...}`` object. Loading
-validates the format tag and reconstructs fitted estimators.
+Format: a top-level ``{"format": ..., "format_version": 1, ...}`` object
+(files written before the ``format_version`` stamp carry the same number
+under ``version`` and still load). Loading validates both tags and
+reconstructs fitted estimators; any malformed input — truncated file,
+non-JSON bytes, wrong format/version, missing fields — raises
+:class:`ModelFormatError` rather than a bare ``KeyError`` or JSON
+traceback.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.ml.svm.kernels import LinearKernel, PolynomialKernel, RbfKernel
 from repro.ml.tree.cart import DecisionTreeClassifier, TreeNode
 
 __all__ = [
+    "ModelFormatError",
     "load_classifier",
     "load_model",
     "save_classifier",
@@ -31,6 +37,41 @@ __all__ = [
 ]
 
 _VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """A model file is not a readable serialized model.
+
+    Raised for truncated or non-JSON files, unknown format tags,
+    unsupported format versions, and payloads missing required fields —
+    everything a loader can diagnose better than a raw ``KeyError`` or
+    ``json.JSONDecodeError``. Subclasses ``ValueError`` so existing
+    ``except ValueError`` callers keep working.
+    """
+
+
+def _stored_version(payload: dict):
+    """The payload's format version (``format_version``, legacy ``version``)."""
+    if "format_version" in payload:
+        return payload["format_version"]
+    return payload.get("version")
+
+
+def _read_json(path, what: str) -> dict:
+    """Load ``path`` as a JSON object or raise :class:`ModelFormatError`."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ModelFormatError(
+            f"{what} file {path!s} is truncated or not JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ModelFormatError(
+            f"{what} file {path!s} holds {type(payload).__name__}, "
+            "expected a JSON object"
+        )
+    return payload
 
 
 # -- kernels -----------------------------------------------------------------
@@ -102,7 +143,7 @@ def _cart_to_dict(clf: DecisionTreeClassifier) -> dict:
         raise ValueError("cannot serialize an unfitted tree")
     return {
         "format": "repro/cart",
-        "version": _VERSION,
+        "format_version": _VERSION,
         "params": {
             "criterion": clf.criterion,
             "max_depth": clf.max_depth,
@@ -165,7 +206,7 @@ def _dagsvm_to_dict(clf: DagSvmClassifier) -> dict:
         raise ValueError("cannot serialize an unfitted DAGSVM")
     return {
         "format": "repro/dagsvm",
-        "version": _VERSION,
+        "format_version": _VERSION,
         "C": clf.C,
         "tol": clf.tol,
         "max_iter": clf.max_iter,
@@ -206,15 +247,31 @@ def model_to_dict(model) -> dict:
 
 
 def model_from_dict(payload: dict):
-    """Reconstruct a fitted model from :func:`model_to_dict` output."""
+    """Reconstruct a fitted model from :func:`model_to_dict` output.
+
+    Raises :class:`ModelFormatError` on an unknown format tag, an
+    unsupported format version, or a payload missing required fields.
+    """
+    if not isinstance(payload, dict):
+        raise ModelFormatError(
+            f"model payload is {type(payload).__name__}, expected a dict"
+        )
     fmt = payload.get("format")
-    if payload.get("version") != _VERSION:
-        raise ValueError(f"unsupported model version {payload.get('version')!r}")
+    version = _stored_version(payload)
+    if version != _VERSION:
+        raise ModelFormatError(f"unsupported model format version {version!r}")
     if fmt == "repro/cart":
-        return _cart_from_dict(payload)
-    if fmt == "repro/dagsvm":
-        return _dagsvm_from_dict(payload)
-    raise ValueError(f"unknown model format {fmt!r}")
+        loader = _cart_from_dict
+    elif fmt == "repro/dagsvm":
+        loader = _dagsvm_from_dict
+    else:
+        raise ModelFormatError(f"unknown model format {fmt!r}")
+    try:
+        return loader(payload)
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ModelFormatError(
+            f"{fmt} payload is missing or malformed at field {exc}"
+        ) from exc
 
 
 def save_model(model, path) -> None:
@@ -224,9 +281,12 @@ def save_model(model, path) -> None:
 
 
 def load_model(path):
-    """Load a model written by :func:`save_model`."""
-    with open(path) as handle:
-        return model_from_dict(json.load(handle))
+    """Load a model written by :func:`save_model`.
+
+    Raises :class:`ModelFormatError` when the file is truncated, not
+    JSON, or not a supported model payload.
+    """
+    return model_from_dict(_read_json(path, "model"))
 
 
 def save_classifier(classifier, path) -> None:
@@ -241,7 +301,7 @@ def save_classifier(classifier, path) -> None:
         raise TypeError("save_classifier expects an IustitiaClassifier")
     payload = {
         "format": "repro/iustitia",
-        "version": _VERSION,
+        "format_version": _VERSION,
         "model_kind": classifier.model_kind,
         "buffer_size": classifier.buffer_size,
         "training": classifier.training.value,
@@ -261,35 +321,49 @@ def save_classifier(classifier, path) -> None:
 
 
 def load_classifier(path):
-    """Load a classifier written by :func:`save_classifier`."""
+    """Load a classifier written by :func:`save_classifier`.
+
+    Raises :class:`ModelFormatError` when the file is truncated, not
+    JSON, or not a supported classifier payload.
+    """
     from repro.core.classifier import IustitiaClassifier, TrainingMethod
     from repro.core.estimation import EntropyEstimator
     from repro.core.features import FeatureSet
 
-    with open(path) as handle:
-        payload = json.load(handle)
+    payload = _read_json(path, "classifier")
     if payload.get("format") != "repro/iustitia":
-        raise ValueError(f"unknown classifier format {payload.get('format')!r}")
-    if payload.get("version") != _VERSION:
-        raise ValueError(f"unsupported classifier version {payload.get('version')!r}")
-    feature_set = FeatureSet(
-        payload["feature_name"], tuple(payload["feature_widths"])
-    )
-    estimator = None
-    if "estimator" in payload:
-        estimator = EntropyEstimator(
-            epsilon=payload["estimator"]["epsilon"],
-            delta=payload["estimator"]["delta"],
-            buffer_size=payload["estimator"]["buffer_size"],
-            features=feature_set,
+        raise ModelFormatError(
+            f"unknown classifier format {payload.get('format')!r}"
         )
-    classifier = IustitiaClassifier(
-        model=payload["model_kind"],
-        feature_set=feature_set,
-        buffer_size=payload["buffer_size"],
-        training=TrainingMethod(payload["training"]),
-        header_threshold=payload["header_threshold"],
-        estimator=estimator,
-    )
-    classifier._model = model_from_dict(payload["model"])
+    version = _stored_version(payload)
+    if version != _VERSION:
+        raise ModelFormatError(
+            f"unsupported classifier format version {version!r}"
+        )
+    try:
+        feature_set = FeatureSet(
+            payload["feature_name"], tuple(payload["feature_widths"])
+        )
+        estimator = None
+        if "estimator" in payload:
+            estimator = EntropyEstimator(
+                epsilon=payload["estimator"]["epsilon"],
+                delta=payload["estimator"]["delta"],
+                buffer_size=payload["estimator"]["buffer_size"],
+                features=feature_set,
+            )
+        classifier = IustitiaClassifier(
+            model=payload["model_kind"],
+            feature_set=feature_set,
+            buffer_size=payload["buffer_size"],
+            training=TrainingMethod(payload["training"]),
+            header_threshold=payload["header_threshold"],
+            estimator=estimator,
+        )
+        model_payload = payload["model"]
+    except (KeyError, TypeError) as exc:
+        raise ModelFormatError(
+            f"classifier payload is missing or malformed at field {exc}"
+        ) from exc
+    classifier._model = model_from_dict(model_payload)
     return classifier

@@ -24,6 +24,7 @@ import math
 
 import numpy as np
 
+from repro.core.entropy import encode_kgram_stream
 from repro.streaming.sketch import median_of_means
 
 __all__ = [
@@ -41,26 +42,6 @@ def _xlogx_increment(c: np.ndarray) -> np.ndarray:
     prev = counts - 1.0
     term_prev = np.where(prev > 0, prev * np.log(np.maximum(prev, 1.0)), 0.0)
     return term_c - term_prev
-
-
-def encode_kgram_stream(data: "bytes | bytearray", k: int) -> np.ndarray:
-    """Encode the k-gram stream of ``data`` as an array of comparable codes.
-
-    For ``k <= 8`` each k-gram packs into a ``uint64`` (fast equality
-    tests); wider grams fall back to a void dtype view. Either encoding
-    supports elementwise ``==`` against a scalar, which is all the suffix
-    counting needs.
-    """
-    if k < 1:
-        raise ValueError(f"k must be >= 1, got {k}")
-    arr = np.frombuffer(bytes(data), dtype=np.uint8)
-    if arr.size < k:
-        raise ValueError(f"need at least k={k} bytes, got {arr.size}")
-    windows = np.lib.stride_tricks.sliding_window_view(arr, k)
-    if k <= 8:
-        weights = (256 ** np.arange(k - 1, -1, -1, dtype=np.uint64)).astype(np.uint64)
-        return (windows.astype(np.uint64) * weights).sum(axis=1)
-    return np.ascontiguousarray(windows).view(np.dtype((np.void, k))).ravel()
 
 
 def estimate_s_from_stream(

@@ -23,6 +23,7 @@ BENCH_NAMES = (
 def test_run_perf_tiny_writes_json(tmp_path):
     out = tmp_path / "bench.json"
     engine_out = tmp_path / "bench_engine.json"
+    state_out = tmp_path / "bench_state.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
@@ -36,6 +37,8 @@ def test_run_perf_tiny_writes_json(tmp_path):
             str(out),
             "--engine-out",
             str(engine_out),
+            "--state-out",
+            str(state_out),
         ],
         capture_output=True,
         text=True,
@@ -83,3 +86,24 @@ def test_run_perf_tiny_writes_json(tmp_path):
         engine_results["telemetry_overhead_fraction"]
         == overhead["overhead_fraction"]
     )
+
+    # Extractor state payload (BENCH_state.json): per-flow state bytes
+    # of the incremental extractor vs the buffered baseline, both exact,
+    # labels validated identical in-runner before timing. The state-size
+    # ordering is structural (counters + carry vs window + counters), so
+    # it holds even at tiny scale.
+    state_results = json.loads(state_out.read_text())
+    assert state_results["paper_claim_bytes"] == 195
+    assert state_results["extractor_state"]["labels_identical"] is True
+    state = state_results["extractor_state"]["state_bytes"]
+    assert state["incremental"]["median"] < state["buffered"]["median"]
+    assert state_results["incremental_below_buffered"] is True
+    assert (
+        state_results["incremental_median_bytes"]
+        == state["incremental"]["median"]
+    )
+    fold = state_results["extractor_state"]["fold_throughput"]
+    for extractor in ("batch", "incremental"):
+        assert fold["runs"][extractor]["seconds"] > 0
+        assert fold["runs"][extractor]["packets_per_s"] > 0
+    assert fold["incremental_vs_buffered"] > 0

@@ -9,6 +9,7 @@ from repro.core.classifier import IustitiaClassifier, TrainingMethod
 from repro.core.estimation import EntropyEstimator
 from repro.core.features import PHI_SVM_PRIME
 from repro.ml.persistence import (
+    ModelFormatError,
     load_classifier,
     load_model,
     model_from_dict,
@@ -100,6 +101,82 @@ class TestErrorHandling:
     def test_non_model_rejected(self):
         with pytest.raises(TypeError, match="cannot serialize"):
             model_to_dict(object())
+
+
+class TestModelFormatError:
+    def test_format_version_stamped(self, fitted_models, tmp_path):
+        cart, svm, _, _ = fitted_models
+        for name, model in (("cart.json", cart), ("svm.json", svm)):
+            path = tmp_path / name
+            save_model(model, path)
+            payload = json.loads(path.read_text())
+            assert payload["format_version"] == 1
+
+    def test_classifier_format_version_stamped(self, small_corpus, tmp_path):
+        clf = IustitiaClassifier(model="cart", buffer_size=64).fit_corpus(
+            small_corpus
+        )
+        path = tmp_path / "clf.json"
+        save_classifier(clf, path)
+        assert json.loads(path.read_text())["format_version"] == 1
+
+    def test_legacy_version_key_still_loads(self, fitted_models):
+        cart, _, X, _ = fitted_models
+        payload = model_to_dict(cart)
+        payload["version"] = payload.pop("format_version")
+        loaded = model_from_dict(payload)
+        np.testing.assert_array_equal(loaded.predict(X), cart.predict(X))
+
+    def test_truncated_file_raises_model_format_error(
+        self, fitted_models, tmp_path
+    ):
+        cart, _, _, _ = fitted_models
+        path = tmp_path / "cart.json"
+        save_model(cart, path)
+        truncated = tmp_path / "truncated.json"
+        truncated.write_text(path.read_text()[: len(path.read_text()) // 2])
+        with pytest.raises(ModelFormatError, match="truncated or not JSON"):
+            load_model(truncated)
+
+    def test_non_json_file_raises_model_format_error(self, tmp_path):
+        path = tmp_path / "garbage.bin"
+        path.write_bytes(b"\x80\x04not a model")
+        with pytest.raises(ModelFormatError, match="truncated or not JSON"):
+            load_model(path)
+        with pytest.raises(ModelFormatError, match="truncated or not JSON"):
+            load_classifier(path)
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ModelFormatError, match="expected a JSON object"):
+            load_model(path)
+
+    def test_missing_model_field_raises_model_format_error(self, fitted_models):
+        cart, _, _, _ = fitted_models
+        payload = model_to_dict(cart)
+        del payload["root"]
+        with pytest.raises(ModelFormatError, match="missing or malformed"):
+            model_from_dict(payload)
+
+    def test_missing_classifier_field_raises_model_format_error(
+        self, small_corpus, tmp_path
+    ):
+        clf = IustitiaClassifier(model="cart", buffer_size=64).fit_corpus(
+            small_corpus
+        )
+        path = tmp_path / "clf.json"
+        save_classifier(clf, path)
+        payload = json.loads(path.read_text())
+        del payload["model"]
+        broken = tmp_path / "broken.json"
+        broken.write_text(json.dumps(payload))
+        with pytest.raises(ModelFormatError, match="missing or malformed"):
+            load_classifier(broken)
+
+    def test_model_format_error_is_value_error(self):
+        # Callers with existing `except ValueError` handling keep working.
+        assert issubclass(ModelFormatError, ValueError)
 
 
 class TestClassifierRoundTrip:

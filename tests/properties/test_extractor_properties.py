@@ -1,0 +1,136 @@
+"""Property tests: incremental folding == batch extraction on the first b bytes.
+
+The tentpole invariant of the incremental extractor is that per-packet
+k-gram folding is *vector-identical* (within 1e-12) to batch extraction
+over the same first-``b`` bytes, no matter how packets fragment the
+stream: single packet, 1-byte packets, arbitrary uneven splits, payload
+overshooting the buffer, or a timeout firing on a partially filled
+window.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entropy_vector import entropy_vector
+from repro.core.extract import IncrementalEntropyExtractor
+from repro.core.features import FULL_FEATURES, PHI_SVM_PRIME
+
+#: PHI_SVM_PRIME exercises the packed-uint64 k-gram keys; FULL_FEATURES
+#: (h1..h10) also exercises the wide-gram bytes-key fallback (k > 8).
+FEATURE_SETS = (PHI_SVM_PRIME, FULL_FEATURES)
+
+TOLERANCE = 1e-12
+
+
+def fragments(payload: bytes, cut_points: "list[int]") -> "list[bytes]":
+    """Split ``payload`` at the (deduplicated, sorted) cut offsets."""
+    cuts = sorted({c % (len(payload) + 1) for c in cut_points})
+    bounds = [0] + cuts + [len(payload)]
+    return [payload[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+def folded_state(feature_set, buffer_size: int, chunks: "list[bytes]"):
+    extractor = IncrementalEntropyExtractor(feature_set, buffer_size)
+    state = extractor.new_state()
+    for chunk in chunks:
+        extractor.fold(state, chunk)
+    return extractor, state
+
+
+def assert_matches_batch(feature_set, buffer_size, chunks) -> None:
+    extractor, state = folded_state(feature_set, buffer_size, chunks)
+    payload = b"".join(chunks)
+    expected = entropy_vector(payload[:buffer_size], feature_set).values
+    got = extractor.vector(state)
+    assert float(np.max(np.abs(got - expected))) <= TOLERANCE
+
+
+class TestFragmentationEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        payload=st.binary(min_size=10, max_size=150),
+        buffer_size=st.integers(10, 64),
+        cut_points=st.lists(st.integers(0, 149), max_size=10),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_arbitrary_uneven_splits(
+        self, payload, buffer_size, cut_points, set_index
+    ):
+        assert_matches_batch(
+            FEATURE_SETS[set_index],
+            buffer_size,
+            fragments(payload, cut_points),
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payload=st.binary(min_size=10, max_size=80),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_one_byte_packets(self, payload, set_index):
+        chunks = [payload[i : i + 1] for i in range(len(payload))]
+        assert_matches_batch(FEATURE_SETS[set_index], 32, chunks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payload=st.binary(min_size=10, max_size=80),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_single_packet(self, payload, set_index):
+        assert_matches_batch(FEATURE_SETS[set_index], 32, [payload])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payload=st.binary(min_size=40, max_size=200),
+        cut_points=st.lists(st.integers(0, 199), max_size=6),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_payload_exceeding_buffer(self, payload, cut_points, set_index):
+        # More raw bytes than b: folding must stop at exactly b, matching
+        # the batch path's window truncation.
+        buffer_size = 32
+        feature_set = FEATURE_SETS[set_index]
+        chunks = fragments(payload, cut_points)
+        extractor, state = folded_state(feature_set, buffer_size, chunks)
+        assert extractor.folded_bytes(state) == buffer_size
+        assert_matches_batch(feature_set, buffer_size, chunks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payload=st.binary(min_size=10, max_size=31),
+        cut_points=st.lists(st.integers(0, 30), max_size=6),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_timeout_path_partial_buffer(self, payload, cut_points, set_index):
+        # Fewer raw bytes than b (the inactivity-timeout shape): finalize
+        # must match batch extraction over the partial window.
+        feature_set = FEATURE_SETS[set_index]
+        chunks = fragments(payload, cut_points)
+        extractor, state = folded_state(feature_set, 32, chunks)
+        assert extractor.folded_bytes(state) == len(payload)
+        assert_matches_batch(feature_set, 32, chunks)
+
+
+class TestFinalizeBatch:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=10, max_size=60), min_size=1, max_size=6
+        ),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_finalize_stacks_per_flow_vectors(self, payloads, set_index):
+        feature_set = FEATURE_SETS[set_index]
+        extractor = IncrementalEntropyExtractor(feature_set, 32)
+        states = []
+        for payload in payloads:
+            state = extractor.new_state()
+            for i in range(0, len(payload), 7):
+                extractor.fold(state, payload[i : i + 7])
+            states.append(state)
+        matrix = extractor.finalize(states, classifier=None)
+        assert matrix.shape == (len(payloads), len(feature_set.widths))
+        for row, payload in zip(matrix, payloads):
+            expected = entropy_vector(payload[:32], feature_set).values
+            assert float(np.max(np.abs(row - expected))) <= TOLERANCE
