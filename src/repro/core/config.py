@@ -114,6 +114,20 @@ class EngineConfig:
     max_batch: int = 32
     #: Packet-clock seconds a ready flow may wait for its batch to fill.
     max_delay: float = 0.05
+    #: Fold-batching stage knob. ``0`` (default) defers every chunk
+    #: until its flow is about to be classified, so each classify drain
+    #: folds a whole batch's chunks in one vectorized ``fold_batch``
+    #: call — deferred memory stays bounded because chunks past the
+    #: window cap are never queued. ``N > 1`` adds a size trigger: a
+    #: drain also fires whenever ``N`` chunks have accumulated across
+    #: flows (folds ahead of classification at the cost of smaller
+    #: batches). ``1`` disables deferral entirely (every chunk folds at
+    #: arrival, the pre-batching behaviour). Only streaming extractors
+    #: defer folds — the batch extractor's state must stay current for
+    #: re-windowing. Folding later never changes results: readiness
+    #: checks account for queued chunks and every classify drain folds
+    #: first.
+    fold_batch: int = 0
     #: Instrument the engine with a :class:`repro.obs.MetricsRegistry`.
     telemetry: bool = True
     #: Per-flow feature pipeline: ``"batch"`` buffers raw payload and
@@ -135,6 +149,8 @@ class EngineConfig:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_delay < 0:
             raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
+        if self.fold_batch < 0:
+            raise ValueError(f"fold_batch must be >= 0, got {self.fold_batch}")
         if isinstance(self.extractor, str):
             from repro.core.extract import EXTRACTORS
 

@@ -28,12 +28,13 @@ __all__ = [
     "PACKED_MAX_K",
     "byte_entropy",
     "encode_kgram_stream",
+    "entropy_from_counts",
+    "entropy_from_grouped_counts",
     "kgram_count_values",
     "kgram_counts",
     "kgram_counts_packed",
     "kgram_entropy",
     "max_normalized_entropy",
-    "entropy_from_counts",
     "packed_kgram_keys",
 ]
 
@@ -210,6 +211,48 @@ def entropy_from_counts(counts: "np.ndarray | list[int]", k: int) -> float:
     h_k = entropy_nats / (8.0 * k * _LN2)
     # Round-off can push an exactly-uniform sequence a hair past the ideal.
     return min(max(h_k, 0.0), 1.0)
+
+
+def entropy_from_grouped_counts(
+    group_ids: np.ndarray,
+    counts: np.ndarray,
+    n_groups: int,
+    k: "int | np.ndarray",
+) -> np.ndarray:
+    """Normalized entropy ``h_k`` of many flows from pooled multiplicities.
+
+    The batched counterpart of :func:`entropy_from_counts`: ``counts[i]``
+    is one non-zero k-gram multiplicity belonging to flow
+    ``group_ids[i]``, and the result is the length-``n_groups`` vector of
+    per-flow ``h_k`` values computed in three ``np.bincount`` reductions
+    (elements, ``sum m log m``, distinct grams) instead of one Python
+    call per flow. ``k`` is one width for the whole call or a
+    length-``n_groups`` array of per-group widths — the latter lets a
+    caller pool *every* feature width of a batch into a single grouped
+    reduction (group = (width, flow)) and normalize each stripe by its
+    own width. Groups with a single distinct gram are exactly 0.0 and
+    groups with no counts at all come back 0.0 — callers validate that
+    every flow holds at least ``k`` folded bytes.
+    """
+    k_arr = np.asarray(k)
+    if np.any(k_arr < 1):
+        raise ValueError(f"k must be >= 1, got {k}")
+    if n_groups < 0:
+        raise ValueError(f"n_groups must be >= 0, got {n_groups}")
+    arr = np.asarray(counts, dtype=np.float64).ravel()
+    groups = np.asarray(group_ids).ravel()
+    n_elements = np.bincount(groups, weights=arr, minlength=n_groups)
+    s_k = np.bincount(groups, weights=arr * np.log(arr), minlength=n_groups)
+    distinct = np.bincount(groups, minlength=n_groups)
+    h = np.zeros(n_groups, dtype=np.float64)
+    # One distinct element is exactly zero (avoids ln(N) - ln(N) residue);
+    # empty groups stay zero too.
+    multi = distinct > 1
+    denom = 8.0 * _LN2 * (k_arr[multi] if k_arr.ndim else float(k_arr))
+    h[multi] = (
+        np.log(n_elements[multi]) - s_k[multi] / n_elements[multi]
+    ) / denom
+    return np.clip(h, 0.0, 1.0, out=h)
 
 
 def kgram_entropy(data: "bytes | bytearray | np.ndarray", k: int) -> float:

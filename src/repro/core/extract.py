@@ -6,7 +6,8 @@ first ``b`` bytes of a flow with ~200 B of per-flow state. A
 feature matrix handed to the model:
 
 * what per-flow state a buffering flow carries (:meth:`new_state`),
-* how an arriving payload chunk updates it (:meth:`fold`),
+* how an arriving payload chunk updates it (:meth:`fold`), and how many
+  flows' pending chunks update at once (:meth:`fold_batch`),
 * how a batch of ready flows becomes an ``(n, d)`` entropy-vector matrix
   (:meth:`finalize`), and
 * how many bytes that state actually costs (:meth:`state_bytes`).
@@ -20,17 +21,30 @@ Two implementations:
   enables header stripping, threshold skipping, and the random-skip
   defense, so this remains the default.
 * :class:`IncrementalEntropyExtractor` — the paper's Section-4.4 shape:
-  per-flow state is one k-gram count table per feature width plus the
+  per-flow state is one k-gram counter table per feature width plus the
   trailing ``max_width - 1`` boundary bytes (so grams spanning packet
   boundaries are counted); each arriving packet folds in immediately and
-  **no payload is retained**. Finalizing is an O(counters) entropy
-  computation, vector-identical to the batch path on the same first-``b``
+  **no payload is retained**. The counter tables are array-backed:
+  widths up to :data:`~repro.core.entropy.PACKED_MAX_K` (``h_1``
+  included — its "pack" is the byte itself) keep packed ``uint64``
+  gram-key runs as lists of zero-copy views into each fold call's pack
+  array; duplicates are resolved by one batch-wide sort at finalize.
+  Only widths above ``PACKED_MAX_K`` — alphabets too huge to pack —
+  fall back to Python dicts. Folding is therefore a handful of numpy
+  calls per packet, :meth:`fold_batch` amortizes even those across
+  every packet of a drain tick (one ``b"".join`` assembles the batch
+  context, one :func:`~repro.core.entropy.packed_kgram_keys` pass per
+  width covers it, and each touched flow just appends its views), and
+  :meth:`finalize_batch` computes the entire ``(n, d)`` matrix through
+  one pooled grouped-entropy reduction across all packed widths. The
+  result is vector-identical to the batch path on the same first-``b``
   bytes regardless of how packets fragment them.
 
 Extractors are selected by name through
 :class:`repro.core.config.EngineConfig(extractor=...)`; third-party
 fragment features (HEDGE-style byte-frequency tests, compression probes)
-can plug in by implementing the same five methods.
+can plug in by implementing the same protocol (``fold_batch`` has a
+scalar-loop default).
 """
 
 from __future__ import annotations
@@ -40,11 +54,14 @@ import numpy as np
 from repro.core.accounting import (
     flow_state_bytes,
     incremental_flow_state_bytes,
+    incremental_flow_state_bytes_array,
 )
 from repro.core.entropy import (
     PACKED_MAX_K,
     encode_kgram_stream,
     entropy_from_counts,
+    entropy_from_grouped_counts,
+    packed_kgram_keys,
 )
 from repro.core.features import FeatureSet
 
@@ -57,6 +74,22 @@ __all__ = [
     "IncrementalFlowState",
     "make_extractor",
 ]
+
+def _payload_array(payload) -> np.ndarray:
+    """View a payload chunk as uint8 without copying when possible.
+
+    Accepts ``bytes``/``bytearray``/``memoryview``/``np.ndarray``; a
+    contiguous memoryview (the zero-copy pcap ingest path) is viewed in
+    place.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.ravel()
+    if isinstance(payload, memoryview) and not payload.contiguous:
+        payload = bytes(payload)
+    return np.frombuffer(payload, dtype=np.uint8)
+
+
+_EMPTY_KEYS = np.empty(0, dtype=np.uint64)
 
 
 class FeatureExtractor:
@@ -96,6 +129,22 @@ class FeatureExtractor:
     def fold(self, state, payload: "bytes | memoryview") -> None:
         """Absorb one arriving payload chunk into the flow's state."""
         raise NotImplementedError
+
+    def fold_batch(self, states: list, payloads: list) -> None:
+        """Absorb many flows' pending chunks in one call.
+
+        ``payloads[i]`` is either a single bytes-like chunk or a list of
+        chunks in arrival order for ``states[i]``. Semantically identical
+        to calling :meth:`fold` per chunk per flow (the engine's
+        fold-batching stage relies on that equivalence); this default
+        simply loops, subclasses override with a vectorized pass.
+        """
+        for state, chunks in zip(states, payloads):
+            if isinstance(chunks, (bytes, bytearray, memoryview, np.ndarray)):
+                self.fold(state, chunks)
+            else:
+                for chunk in chunks:
+                    self.fold(state, chunk)
 
     def folded_bytes(self, state) -> int:
         """Bytes of classification window the state has absorbed so far."""
@@ -167,28 +216,50 @@ class BatchEntropyExtractor(FeatureExtractor):
 class IncrementalFlowState:
     """Per-flow state of the incremental path: counters, no payload.
 
-    ``h1`` is a flat 256-bin count array (when ``h_1`` is a feature);
-    ``counts`` holds one dict per multi-byte width mapping packed k-gram
-    key -> multiplicity; ``carry`` is the trailing ``max_width - 1``
-    bytes of the folded stream, kept so grams spanning a packet boundary
-    are counted exactly once; ``folded`` counts window bytes absorbed
-    (capped at the extractor's ``buffer_size``).
+    ``keys`` holds, per width up to ``PACKED_MAX_K``, the list of
+    packed-``uint64`` gram-key runs the flow has folded so far — each
+    run a zero-copy view into the pack array of the fold call that
+    produced it, so folding appends a view to a Python list instead of
+    scattering into a per-flow buffer (multiplicities are recovered at
+    finalize, where the whole batch concatenates in one call anyway);
+    ``filled`` tracks the total keys per width. ``wide`` holds one dict
+    per width above ``PACKED_MAX_K`` mapping gram bytes -> multiplicity
+    (the huge-alphabet fallback); ``carry`` keeps the trailing
+    ``max_width - 1`` bytes of the folded stream, so grams spanning a
+    packet boundary are counted exactly once; ``folded`` counts window
+    bytes absorbed (capped at the extractor's ``buffer_size``).
+
+    The *logical* footprint — what :meth:`IncrementalEntropyExtractor.
+    state_bytes` charges against the paper's ~200 B claim — is the
+    distinct-counter count plus the carry, independent of this
+    view-list representation.
     """
 
-    __slots__ = ("h1", "counts", "carry", "folded")
+    __slots__ = ("keys", "filled", "wide", "carry", "folded")
 
-    def __init__(self, with_h1: bool, n_multi: int) -> None:
-        self.h1 = np.zeros(256, dtype=np.int64) if with_h1 else None
-        self.counts: "tuple[dict, ...]" = tuple({} for _ in range(n_multi))
+    def __init__(self, n_packed: int, n_wide: int) -> None:
+        self.keys: "list[list[np.ndarray]]" = [[] for _ in range(n_packed)]
+        self.filled: "list[int]" = [0] * n_packed
+        # The empty tuple is shared — only all-packed feature sets hit
+        # this path, and states are minted once per flow on a hot path.
+        self.wide: "tuple[dict, ...]" = (
+            tuple({} for _ in range(n_wide)) if n_wide else ()
+        )
         self.carry = b""
         self.folded = 0
 
     @property
+    def carry_len(self) -> int:
+        """Length of the boundary carry (``max_width - 1`` max)."""
+        return len(self.carry)
+
+    @property
     def num_counters(self) -> int:
         """Non-zero k-gram counters currently held (the paper's alpha)."""
-        total = sum(len(d) for d in self.counts)
-        if self.h1 is not None:
-            total += int(np.count_nonzero(self.h1))
+        total = sum(len(table) for table in self.wide)
+        for runs, filled in zip(self.keys, self.filled):
+            if filled:
+                total += int(np.unique(np.concatenate(runs)).size)
         return total
 
 
@@ -196,12 +267,22 @@ class IncrementalEntropyExtractor(FeatureExtractor):
     """Fold k-gram counts at packet arrival; finalize from counters only.
 
     Each :meth:`fold` packs the new chunk's k-grams (prefixed with the
-    boundary carry) through the same :func:`encode_kgram_stream`
-    convention the batch kernels use, and bumps the per-width count
-    tables. The first ``buffer_size`` window bytes are absorbed; later
-    bytes are ignored (the batch path truncates its window identically).
-    :meth:`finalize` is Formula (1) over the accumulated counts — no
-    payload ever retained, so per-flow state is the counters plus a
+    boundary carry) through the same big-endian convention the batch
+    kernels use and appends the key run to the per-width view lists — a
+    few numpy calls per packet, no Python-level per-gram work.
+    :meth:`fold_batch` goes further: the pending chunks of *many* flows
+    are joined into one context (each behind its flow's carry), every
+    width is packed in one :func:`~repro.core.entropy.packed_kgram_keys`
+    pass over the whole batch, and each flow's in-flow gram run lands in
+    its state as a single appended view. The first ``buffer_size``
+    window bytes are absorbed; later bytes are ignored (the batch path
+    truncates its window identically).
+
+    :meth:`finalize_batch` is Formula (1) over the accumulated counts
+    for the whole ready batch at once: per width, one lexsort over
+    ``(flow, gram-key)`` recovers the multiplicities and one grouped
+    ``bincount`` reduction emits the entire feature column. No payload
+    is ever retained, so per-flow state is the counters plus a
     ``max_width - 1`` byte carry, the representation behind the paper's
     ~200 B figure.
 
@@ -217,41 +298,176 @@ class IncrementalEntropyExtractor(FeatureExtractor):
 
     def __init__(self, feature_set: FeatureSet, buffer_size: int) -> None:
         super().__init__(feature_set, buffer_size)
-        self._with_h1 = 1 in feature_set.widths
-        self._multi_widths = tuple(k for k in feature_set.widths if k != 1)
+        # Width 1 rides the packed path too: its "packed key" is the byte
+        # value itself, so h_1 needs no dedicated counter array and folds
+        # through the exact same append machinery as the other widths.
+        self._packed_widths = tuple(
+            k for k in feature_set.widths if k <= PACKED_MAX_K
+        )
+        self._wide_widths = tuple(
+            k for k in feature_set.widths if k > PACKED_MAX_K
+        )
         self._carry_bytes = feature_set.max_width - 1
+        # A width-k packed key occupies only the low 8k bits, so when the
+        # widest packed key leaves headroom the group id rides the high
+        # bits and the pooled reduction sorts ONE uint64 array in place —
+        # an order of magnitude cheaper than a two-key lexsort at
+        # classify-batch sizes. 0 disables the fast path (k = 8 keys
+        # fill the word).
+        max_packed = max(self._packed_widths, default=0)
+        shift = 8 * max_packed
+        self._packed_shift = shift if shift < 64 else 0
+        self._n_packed = len(self._packed_widths)
+        self._n_wide = len(self._wide_widths)
 
     def new_state(self) -> IncrementalFlowState:
-        return IncrementalFlowState(self._with_h1, len(self._multi_widths))
+        return IncrementalFlowState(self._n_packed, self._n_wide)
+
+    # -- folding ------------------------------------------------------------
+
+    @staticmethod
+    def _fold_wide(table: dict, segment: np.ndarray, k: int) -> None:
+        """Dict-fallback fold of one wide-gram (k > 8) context segment."""
+        codes = encode_kgram_stream(segment, k)
+        uniques, multiplicities = np.unique(codes, return_counts=True)
+        for code, count in zip(uniques, multiplicities.tolist()):
+            key = code.tobytes()
+            table[key] = table.get(key, 0) + count
 
     def fold(self, state: IncrementalFlowState, payload) -> None:
         remaining = self.buffer_size - state.folded
-        if remaining <= 0 or not payload:
+        if remaining <= 0:
             return
-        chunk = bytes(payload[:remaining])
-        arr = np.frombuffer(chunk, dtype=np.uint8)
-        if state.h1 is not None:
-            state.h1 += np.bincount(arr, minlength=256)
-        carry = state.carry
-        for k, counts in zip(self._multi_widths, state.counts):
-            # The k-grams introduced by this chunk are exactly the width-k
-            # windows of (last k-1 folded bytes + chunk): each contains at
-            # least one new byte, and every new-byte-containing window of
-            # the full stream appears once.
-            ctx = carry[-(k - 1):] + chunk if carry else chunk
-            if len(ctx) < k:
-                continue
-            keys = encode_kgram_stream(ctx, k)
-            uniques, multiplicities = np.unique(keys, return_counts=True)
-            if k <= PACKED_MAX_K:
-                gram_keys = uniques.tolist()
-            else:
-                gram_keys = [u.tobytes() for u in uniques]
-            for key, count in zip(gram_keys, multiplicities.tolist()):
-                counts[key] = counts.get(key, 0) + count
+        chunk = _payload_array(payload)[:remaining]
+        if chunk.size == 0:
+            return
+        carry_len = len(state.carry)
+        # The k-grams introduced by this chunk are exactly the width-k
+        # windows of (last k-1 folded bytes + chunk): each contains at
+        # least one new byte, and every new-byte-containing window of
+        # the full stream appears once.
+        if carry_len:
+            ctx = np.empty(carry_len + chunk.size, dtype=np.uint8)
+            ctx[:carry_len] = np.frombuffer(state.carry, dtype=np.uint8)
+            ctx[carry_len:] = chunk
+        else:
+            ctx = chunk
+        for slot, k in enumerate(self._packed_widths):
+            start = carry_len - (k - 1)
+            if start < 0:
+                start = 0
+            if ctx.size - start >= k:
+                segment = ctx[start:] if start else ctx
+                keys = packed_kgram_keys(segment, k)
+                state.keys[slot].append(keys)
+                state.filled[slot] += keys.size
+        for slot, k in enumerate(self._wide_widths):
+            start = max(carry_len - (k - 1), 0)
+            if ctx.size - start >= k:
+                self._fold_wide(state.wide[slot], ctx[start:], k)
         if self._carry_bytes:
-            state.carry = (carry + chunk)[-self._carry_bytes:]
-        state.folded += len(chunk)
+            tail = min(self._carry_bytes, ctx.size)
+            state.carry = ctx[ctx.size - tail :].tobytes()
+        state.folded += chunk.size
+
+    def fold_batch(self, states: list, payloads: list) -> None:
+        """One vectorized fold pass over many flows' pending chunks.
+
+        Each flow's chunks are absorbed in arrival order behind its
+        boundary carry, exactly as per-chunk :meth:`fold` calls would.
+        The whole batch context is assembled with one ``b"".join`` (the
+        chunks are bytes-likes — zero-copy memoryviews on the pcap
+        path), every width is packed in one pass over it, and each
+        flow's gram run lands in its state as one appended view — the
+        Python-level cost is O(flows), not O(packets x widths), and no
+        per-flow numpy scatter happens at all.
+        """
+        live: "list[IncrementalFlowState]" = []
+        parts: "list[bytes | bytearray | memoryview]" = []
+        carry_lens: "list[int]" = []
+        # Per-flow context boundaries in the concatenated batch, as plain
+        # Python ints: offsets[i]..offsets[i+1] is flow i's (carry +
+        # chunks) segment. Indexing int lists is several times cheaper
+        # than indexing numpy scalars in the per-flow loop below.
+        offsets: "list[int]" = [0]
+        buffer_size = self.buffer_size
+        total = 0
+        for state, chunks in zip(states, payloads):
+            remaining = buffer_size - state.folded
+            if remaining <= 0:
+                continue
+            if isinstance(chunks, (bytes, bytearray, memoryview, np.ndarray)):
+                chunks = (chunks,)
+            flow_len = 0
+            flow_parts = []
+            for chunk in chunks:
+                if remaining <= 0:
+                    break
+                if isinstance(chunk, np.ndarray):
+                    chunk = np.ascontiguousarray(
+                        chunk.ravel(), dtype=np.uint8
+                    ).data
+                elif isinstance(chunk, memoryview) and not chunk.contiguous:
+                    chunk = bytes(chunk)
+                size = len(chunk)
+                if not size:
+                    continue
+                if size > remaining:
+                    chunk = chunk[:remaining]
+                    size = remaining
+                flow_parts.append(chunk)
+                flow_len += size
+                remaining -= size
+            if not flow_len:
+                continue
+            carry = state.carry
+            carry_len = len(carry)
+            if carry_len:
+                parts.append(carry)
+            parts.extend(flow_parts)
+            live.append(state)
+            carry_lens.append(carry_len)
+            total += carry_len + flow_len
+            offsets.append(total)
+        if not live:
+            return
+        joined = b"".join(parts)
+        big = np.frombuffer(joined, dtype=np.uint8)
+        # One packing pass per width over the whole batch; keys spanning
+        # flow boundaries exist in these arrays but the per-flow views
+        # below never cover them.
+        packed = [
+            (slot, k - 1, packed_kgram_keys(big, k))
+            for slot, k in enumerate(self._packed_widths)
+            if big.size >= k
+        ]
+        wide_widths = self._wide_widths
+        carry_bytes = self._carry_bytes
+        # One fused pass per flow: append every width's key-run view,
+        # fold the wide dicts, refresh the carry, advance the byte
+        # count. At small fold batches this loop body is the hot path —
+        # nothing in it allocates beyond a view and the carry bytes.
+        for i, state in enumerate(live):
+            start = offsets[i]
+            end = offsets[i + 1]
+            carry_len = carry_lens[i]
+            keys_by_slot = state.keys
+            filled_by_slot = state.filled
+            for slot, shift, all_keys in packed:
+                lo = start + (carry_len - shift if carry_len > shift else 0)
+                hi = end - shift
+                if hi > lo:
+                    keys_by_slot[slot].append(all_keys[lo:hi])
+                    filled_by_slot[slot] += hi - lo
+            for slot, k in enumerate(wide_widths):
+                lo = start + max(carry_len - (k - 1), 0)
+                if end - lo >= k:
+                    self._fold_wide(state.wide[slot], big[lo:end], k)
+            if carry_bytes:
+                # bytes-level slice of the joined buffer: cheaper than a
+                # uint8 view + tobytes round-trip per flow.
+                state.carry = joined[max(end - carry_bytes, start) : end]
+            state.folded += end - start - carry_len
 
     def folded_bytes(self, state: IncrementalFlowState) -> int:
         return state.folded
@@ -262,36 +478,182 @@ class IncrementalEntropyExtractor(FeatureExtractor):
             "raw window to recover"
         )
 
+    # -- finalizing ---------------------------------------------------------
+
+    def _combined_runs(
+        self, states: "list[IncrementalFlowState]"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """``(group-of-run, multiplicity)`` pairs pooled over all widths.
+
+        Group id ``slot * n + flow`` stripes every packed width of every
+        flow into one id space, so a single sort over ``(group,
+        gram-key)`` recovers the multiplicity runs of the whole batch
+        across *all* widths at once — one sort and one boundary scan
+        instead of one per width. (Keys of different widths may collide
+        numerically; the group id keeps their runs apart.) When the
+        widest packed key leaves bit headroom the pair packs into one
+        ``uint64`` per key and sorts in place; otherwise a two-key
+        lexsort does the same job.
+        """
+        n = len(states)
+        n_slots = len(self._packed_widths)
+        n_groups = n_slots * n
+        lengths = np.fromiter(
+            (
+                state.filled[slot]
+                for slot in range(n_slots)
+                for state in states
+            ),
+            dtype=np.int64,
+            count=n_groups,
+        )
+        parts = [
+            run
+            for slot in range(n_slots)
+            for state in states
+            for run in state.keys[slot]
+        ]
+        all_keys = np.concatenate(parts) if parts else _EMPTY_KEYS
+        shift = self._packed_shift
+        if shift and n_groups <= (1 << (64 - shift)):
+            gids = np.repeat(
+                np.arange(n_groups, dtype=np.uint64), lengths
+            )
+            shift = np.uint64(shift)
+            combined = gids
+            combined <<= shift
+            combined |= all_keys
+            combined.sort()
+            boundaries = np.flatnonzero(combined[1:] != combined[:-1])
+            starts = np.concatenate(([0], boundaries + 1))
+            run_counts = np.diff(np.concatenate((starts, [combined.size])))
+            return (combined[starts] >> shift).astype(np.int64), run_counts
+        gids = np.repeat(np.arange(n_groups, dtype=np.int64), lengths)
+        order = np.lexsort((all_keys, gids))
+        sorted_keys = all_keys[order]
+        sorted_gids = gids[order]
+        boundaries = np.flatnonzero(
+            (sorted_gids[1:] != sorted_gids[:-1])
+            | (sorted_keys[1:] != sorted_keys[:-1])
+        )
+        starts = np.concatenate(([0], boundaries + 1))
+        run_counts = np.diff(np.concatenate((starts, [sorted_keys.size])))
+        return sorted_gids[starts], run_counts
+
     def vector(self, state: IncrementalFlowState) -> np.ndarray:
         """Entropy vector of one flow from its accumulated counters."""
-        if state.folded < self.feature_set.max_width:
-            raise ValueError(
-                f"state holds {state.folded} bytes, cannot produce feature "
-                f"h_{self.feature_set.max_width}"
-            )
-        values = np.empty(len(self.feature_set.widths), dtype=np.float64)
-        slot = 0
-        for i, k in enumerate(self.feature_set.widths):
-            if k == 1:
-                counts = state.h1[state.h1 > 0]
-            else:
-                table = state.counts[slot]
-                slot += 1
-                counts = np.fromiter(
-                    table.values(), dtype=np.float64, count=len(table)
+        return self.finalize_batch([state])[0]
+
+    def finalize_batch(
+        self, states: "list[IncrementalFlowState]"
+    ) -> np.ndarray:
+        """Entropy-vector matrix of a whole ready batch from counters only."""
+        states = list(states)
+        min_needed = self.feature_set.max_width
+        for state in states:
+            if state.folded < min_needed:
+                raise ValueError(
+                    f"state holds {state.folded} bytes, cannot produce "
+                    f"feature h_{min_needed}"
                 )
-            values[i] = entropy_from_counts(counts, k)
-        return values
+        n = len(states)
+        out = np.empty((n, len(self.feature_set.widths)), dtype=np.float64)
+        if n == 0:
+            return out
+        n_slots = len(self._packed_widths)
+        if n_slots:
+            # All packed widths in one pooled reduction: the grouped
+            # entropy kernel normalizes each (width, flow) stripe by its
+            # own width, so one lexsort + three bincounts produce every
+            # packed feature column of the batch.
+            run_gids, run_counts = self._combined_runs(states)
+            k_per_group = np.repeat(
+                np.asarray(self._packed_widths, dtype=np.float64), n
+            )
+            h_packed = entropy_from_grouped_counts(
+                run_gids, run_counts, n_slots * n, k_per_group
+            ).reshape(n_slots, n)
+        packed_slot = 0
+        wide_slot = 0
+        for column, k in enumerate(self.feature_set.widths):
+            if k <= PACKED_MAX_K:
+                out[:, column] = h_packed[packed_slot]
+                packed_slot += 1
+            else:
+                for i, state in enumerate(states):
+                    table = state.wide[wide_slot]
+                    counts = np.fromiter(
+                        table.values(), dtype=np.float64, count=len(table)
+                    )
+                    out[i, column] = entropy_from_counts(counts, k)
+                wide_slot += 1
+        return out
 
     def finalize(
         self, payloads: "list[IncrementalFlowState]", classifier
     ) -> np.ndarray:
-        return np.vstack([self.vector(state) for state in payloads])
+        return self.finalize_batch(payloads)
+
+    # -- accounting ---------------------------------------------------------
+
+    def counters(self, state: IncrementalFlowState) -> "dict[int, dict]":
+        """Per-width ``{gram-key: multiplicity}`` views (testing/debug).
+
+        Width-1 keys are byte values, packed widths (``2..8``) use the
+        big-endian integer pack, and wide widths the raw gram bytes —
+        directly comparable against a dict-folding reference.
+        """
+        tables: "dict[int, dict]" = {}
+        for slot, k in enumerate(self._packed_widths):
+            runs = state.keys[slot]
+            uniques, counts = np.unique(
+                np.concatenate(runs) if runs else _EMPTY_KEYS,
+                return_counts=True,
+            )
+            tables[k] = dict(zip(uniques.tolist(), counts.tolist()))
+        for slot, k in enumerate(self._wide_widths):
+            tables[k] = dict(state.wide[slot])
+        return tables
 
     def state_bytes(self, payload: IncrementalFlowState) -> float:
         return incremental_flow_state_bytes(
             payload.num_counters, len(payload.carry)
         )
+
+    def state_bytes_batch(
+        self, states: "list[IncrementalFlowState]"
+    ) -> np.ndarray:
+        """Exact per-flow state bytes of a whole batch, vectorized.
+
+        The engine charges every classified flow under exact accounting;
+        counting distinct grams one flow at a time would cost a Python
+        loop per width per flow, so the packed widths reuse the same
+        lexsort machinery as :meth:`finalize_batch` and distinct counts
+        come back per flow from one ``bincount``.
+        """
+        states = list(states)
+        n = len(states)
+        num_counters = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        n_slots = len(self._packed_widths)
+        if n_slots:
+            run_gids, _ = self._combined_runs(states)
+            num_counters += (
+                np.bincount(run_gids, minlength=n_slots * n)
+                .reshape(n_slots, n)
+                .sum(axis=0)
+            )
+        for slot in range(len(self._wide_widths)):
+            num_counters += np.fromiter(
+                (len(state.wide[slot]) for state in states),
+                dtype=np.int64,
+                count=n,
+            )
+        carry_lens = np.fromiter(
+            (len(state.carry) for state in states), dtype=np.int64, count=n
+        )
+        return incremental_flow_state_bytes_array(num_counters, carry_lens)
 
 
 #: Extractors selectable by name via ``EngineConfig(extractor=...)``.

@@ -19,7 +19,7 @@ collection / classification / export pipelines):
 (``max_batch=1``) with the historical surface.
 """
 
-from repro.engine.batcher import MicroBatcher, ReadyFlow
+from repro.engine.batcher import FoldBatcher, MicroBatcher, ReadyFlow
 from repro.engine.deadlines import DeadlineWheel
 from repro.engine.engine import StagedEngine
 from repro.engine.flow_table import FlowShard, ShardedFlowTable
@@ -39,6 +39,7 @@ __all__ = [
     "EngineStats",
     "FlowShard",
     "MetricsSink",
+    "FoldBatcher",
     "MicroBatcher",
     "PendingFlow",
     "QueueSink",

@@ -39,7 +39,7 @@ from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.extract import make_extractor
 from repro.core.headers import skip_threshold, strip_app_header
 from repro.core.labels import ALL_NATURES, FlowNature
-from repro.engine.batcher import MicroBatcher, ReadyFlow
+from repro.engine.batcher import FoldBatcher, MicroBatcher, ReadyFlow
 from repro.engine.deadlines import DeadlineWheel
 from repro.engine.flow_table import ShardedFlowTable
 from repro.engine.sinks import DELAY_BUCKETS, MetricsSink, ResultSink, StatsSink
@@ -57,6 +57,13 @@ __all__ = ["StagedEngine"]
 #: charging every flow would blow the <5% instrumentation budget. The
 #: first classification is always sampled.
 STATE_SAMPLE_EVERY = 512
+
+#: Wall-clock-sample every Nth scalar fold when telemetry is on: two
+#: ``perf_counter`` calls per packet cost as much as the array fold
+#: itself at small payloads, so the fold timer samples 1-in-N and scales
+#: the measurement up (fold *counts* stay exact). The first fold is
+#: always sampled.
+FOLD_TIMER_SAMPLE_EVERY = 64
 
 #: Buckets for per-flow state bytes: centred on the paper's ~200 B
 #: (b=32) and 5.1 KB (b=1024) Table-3 figures.
@@ -154,6 +161,27 @@ class StagedEngine:
                     f"disable {', '.join(needs_payload)} or use the 'batch' "
                     "extractor"
                 )
+        # Fold-batching stage: streaming extractors (no payload retained,
+        # state only read at classify drains) may defer per-packet folds
+        # and absorb a whole tick's chunks in one vectorized fold_batch
+        # call. The batch extractor folds immediately — its raw window is
+        # re-read at readiness, so its state must always be current.
+        # fold_batch=1 opts back into fold-at-arrival.
+        self._defer_folds = (
+            not self.extractor.retains_payload
+            and engine_config.fold_batch != 1
+        )
+        # With no size trigger (fold_batch=0) every fold happens at a
+        # classify drain, which can find its flows through the table —
+        # the per-packet batcher registration would be pure overhead, so
+        # it is skipped entirely in that mode.
+        self._fold_on_classify = (
+            self._defer_folds and engine_config.fold_batch == 0
+        )
+        self.fold_batcher = FoldBatcher(engine_config.fold_batch)
+        self._state_bytes_batch = getattr(
+            self.extractor, "state_bytes_batch", None
+        )
         self.table = ShardedFlowTable(
             num_shards=engine_config.num_shards,
             purge_coefficient=self.config.purge_coefficient,
@@ -191,6 +219,7 @@ class StagedEngine:
         """Create this engine's instruments (every stage binds too)."""
         self._fold_seconds = 0.0
         self._fold_calls = 0
+        self._fold_countdown = 0
         self._time_folds = registry is not None
         if registry is None:
             self._m_delay = None
@@ -207,6 +236,8 @@ class StagedEngine:
         self.table.bind_metrics(registry)
         self.wheel.bind_metrics(registry)
         self.batcher.bind_metrics(registry)
+        if self._defer_folds:
+            self.fold_batcher.bind_metrics(registry)
         self._m_delay = registry.histogram(
             "engine_classification_delay_seconds",
             buckets=DELAY_BUCKETS,
@@ -365,14 +396,22 @@ class StagedEngine:
             usable = len(window) >= self.classifier.feature_set.max_width
         else:
             window, protocol = pending.state, None
-            usable = (
-                self.extractor.folded_bytes(pending.state)
-                >= self.classifier.feature_set.max_width
-            )
+            folded = self.extractor.folded_bytes(pending.state)
+            if pending.unfolded:
+                # Deferred chunks count toward readiness: by the time the
+                # state is read (classify drain), they will have folded,
+                # up to the extractor's window cap.
+                folded = min(
+                    folded + sum(len(chunk) for chunk in pending.unfolded),
+                    self.extractor.buffer_size,
+                )
+            usable = folded >= self.classifier.feature_set.max_width
         if not usable:
             self.stats.unclassifiable += 1
             if self._m_unclassifiable is not None:
                 self._m_unclassifiable.inc()
+            if self._defer_folds:
+                self.fold_batcher.discard(flow_id)
             self.table.pending_pop(flow_id)
             self.wheel.cancel(flow_id)
             return {}
@@ -391,6 +430,28 @@ class StagedEngine:
         self, batch: "list[ReadyFlow]", now: float
     ) -> "dict[bytes, FlowNature]":
         """Classify a drained batch; returns flow_id -> label."""
+        if self._fold_on_classify:
+            # These state objects are about to be finalized: fold their
+            # deferred chunks first (kept outside the classify timer so
+            # fold cost stays attributed to the fold counters). The
+            # flows are still pending — they are popped below, after
+            # labeling.
+            pending_get = self.table.pending_get
+            self._fold_pending(
+                [
+                    pending
+                    for ready in batch
+                    if (pending := pending_get(ready.flow_id)) is not None
+                    and pending.unfolded
+                ]
+            )
+        elif self._defer_folds and len(self.fold_batcher):
+            # Size-triggered mode: fold just the flows being finalized;
+            # others' chunks stay queued, accumulating toward a
+            # full-size fold batch instead of draining early.
+            self._fold_pending(
+                self.fold_batcher.take(ready.flow_id for ready in batch)
+            )
         payloads = [r.window for r in batch]
         if self._m_classify is not None:
             with self._m_classify.time():
@@ -402,6 +463,15 @@ class StagedEngine:
                 self.extractor.finalize(payloads, self.classifier)
             )
         exact_state = self.extractor.exact_state_accounting
+        observe_each_state = exact_state and self._state_bytes_batch is None
+        if (
+            exact_state
+            and self._m_delay is not None
+            and self._state_bytes_batch is not None
+        ):
+            # Exact accounting, batched: one vectorized pass charges the
+            # whole drain instead of one state walk per flow.
+            self._m_state_bytes.observe_many(self._state_bytes_batch(payloads))
         results: dict[bytes, FlowNature] = {}
         for ready, label in zip(batch, labels):
             pending = self.table.pending_pop(ready.flow_id)
@@ -410,7 +480,7 @@ class StagedEngine:
             self.stats.per_class[label] += 1
             if self._m_delay is not None:
                 self._delay_buf.append(now - pending.first_arrival)
-                if exact_state:
+                if observe_each_state:
                     # O(1) on counter-based state: charge every flow.
                     self._m_state_bytes.observe(
                         self.extractor.state_bytes(ready.window)
@@ -448,6 +518,55 @@ class StagedEngine:
         if not batch:
             return {}
         return self._classify_batch(batch, now)
+
+    def _fold_one(self, state, payload) -> None:
+        """Fold one chunk immediately, with 1-in-N sampled wall-clock.
+
+        Per-packet ``perf_counter`` pairs cost as much as a small array
+        fold, so with telemetry on the timer samples every
+        ``FOLD_TIMER_SAMPLE_EVERY``-th fold and scales it up; fold counts
+        stay exact. With telemetry off this is a bare extractor call.
+        """
+        if not self._time_folds:
+            self.extractor.fold(state, payload)
+            return
+        self._fold_calls += 1
+        self._fold_countdown -= 1
+        if self._fold_countdown < 0:
+            self._fold_countdown = FOLD_TIMER_SAMPLE_EVERY - 1
+            fold_start = perf_counter()
+            self.extractor.fold(state, payload)
+            self._fold_seconds += (
+                perf_counter() - fold_start
+            ) * FOLD_TIMER_SAMPLE_EVERY
+        else:
+            self.extractor.fold(state, payload)
+
+    def _drain_folds(self) -> None:
+        """Fold every deferred chunk in one vectorized ``fold_batch`` call."""
+        self._fold_pending(self.fold_batcher.drain())
+
+    def _fold_pending(self, flows: list) -> None:
+        """Fold the deferred chunks of ``flows`` in one ``fold_batch`` call.
+
+        One timer pair per call is amortized over the whole batch, so
+        deferred folding is timed exactly (no sampling needed).
+        """
+        if not flows:
+            return
+        states = [pending.state for pending in flows]
+        chunk_lists = [pending.unfolded for pending in flows]
+        if self._time_folds:
+            fold_start = perf_counter()
+            self.extractor.fold_batch(states, chunk_lists)
+            self._fold_seconds += perf_counter() - fold_start
+            chunks = sum(len(chunk_list) for chunk_list in chunk_lists)
+            self._fold_calls += chunks
+            self.fold_batcher.observe_drain(chunks)
+        else:
+            self.extractor.fold_batch(states, chunk_lists)
+        for pending in flows:
+            pending.unfolded = []
 
     # -- packet path ----------------------------------------------------------
 
@@ -493,14 +612,21 @@ class StagedEngine:
         pending.last_arrival = now
         if packet.payload:
             self.stats.data_packets += 1
-            pending.raw_bytes += len(packet.payload)
-            if self._time_folds:
-                fold_start = perf_counter()
-                self.extractor.fold(pending.state, packet.payload)
-                self._fold_seconds += perf_counter() - fold_start
-                self._fold_calls += 1
+            prior_raw = pending.raw_bytes
+            pending.raw_bytes = prior_raw + len(packet.payload)
+            if self._defer_folds:
+                # Chunks fold in arrival order and each fold caps at the
+                # extractor window, so once the bytes *before* this chunk
+                # already cover the window its fold is provably a no-op —
+                # skip the queue (and the eventual fold) entirely.
+                if prior_raw < self.extractor.buffer_size:
+                    pending.unfolded.append(packet.payload)
+                    if not self._fold_on_classify and self.fold_batcher.push(
+                        flow_id, pending
+                    ):
+                        self._drain_folds()
             else:
-                self.extractor.fold(pending.state, packet.payload)
+                self._fold_one(pending.state, packet.payload)
             pending.packets.append(packet)
 
         result = None

@@ -34,6 +34,12 @@ class PendingFlow:
     ``queued`` marks a flow whose classification window has been handed to
     the micro-batcher; late packets still append to ``packets`` so they
     are forwarded once the batch drains, but the flow is not re-enqueued.
+
+    ``unfolded`` holds payload chunks queued for the engine's
+    fold-batching stage (streaming extractors only): arriving payload is
+    appended here instead of folding immediately, and one vectorized
+    ``fold_batch`` call absorbs every queued chunk — in arrival order —
+    before any drain reads the flow's state.
     """
 
     key: FlowKey
@@ -44,6 +50,7 @@ class PendingFlow:
     first_arrival: float = 0.0
     last_arrival: float = 0.0
     queued: bool = False
+    unfolded: "list[bytes | memoryview]" = field(default_factory=list)
 
 
 @dataclass(frozen=True)

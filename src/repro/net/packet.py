@@ -243,11 +243,18 @@ class UdpHeader:
 
 @dataclass
 class Packet:
-    """A full IP packet: IPv4 header, TCP or UDP header, payload, timestamp."""
+    """A full IP packet: IPv4 header, TCP or UDP header, payload, timestamp.
+
+    ``payload`` may be ``bytes`` or a ``memoryview``: the pcap ingest
+    path hands out zero-copy views over the capture record, which the
+    extractor fold path consumes without ever materializing intermediate
+    ``bytes``. Views compare equal to equivalent ``bytes`` and serialize
+    identically.
+    """
 
     ip: Ipv4Header
     transport: "TcpHeader | UdpHeader"
-    payload: bytes = b""
+    payload: "bytes | memoryview" = b""
     timestamp: float = 0.0
 
     def __post_init__(self) -> None:
@@ -291,19 +298,28 @@ class Packet:
                 dst_port=self.transport.dst_port,
                 length=UdpHeader.HEADER_LEN + len(self.payload),
             ).to_bytes()
-        return header.to_bytes() + transport_bytes + self.payload
+        return header.to_bytes() + transport_bytes + bytes(self.payload)
 
     @classmethod
-    def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
-        """Parse a serialized IPv4 packet (TCP or UDP); IP options skipped."""
-        ip = Ipv4Header.from_bytes(data)
-        body = data[ip.ihl_bytes : ip.total_length or len(data)]
+    def from_bytes(
+        cls, data: "bytes | memoryview", timestamp: float = 0.0
+    ) -> "Packet":
+        """Parse a serialized IPv4 packet (TCP or UDP); IP options skipped.
+
+        The payload is a zero-copy ``memoryview`` slice of ``data``: no
+        byte of the packet body is copied between the capture buffer and
+        the extractor fold path. Callers that outlive ``data`` (or
+        mutate it) should ``bytes()`` the payload themselves.
+        """
+        view = data if isinstance(data, memoryview) else memoryview(data)
+        ip = Ipv4Header.from_bytes(view)
+        body = view[ip.ihl_bytes : ip.total_length or len(view)]
         if ip.protocol == PROTO_TCP:
             transport: "TcpHeader | UdpHeader" = TcpHeader.from_bytes(body)
-            payload = bytes(body[transport.data_offset_bytes() :])
+            payload = body[transport.data_offset_bytes() :]
         elif ip.protocol == PROTO_UDP:
             transport = UdpHeader.from_bytes(body)
-            payload = bytes(body[UdpHeader.HEADER_LEN :])
+            payload = body[UdpHeader.HEADER_LEN :]
         else:
             raise ValueError(f"unsupported IP protocol {ip.protocol}")
         return cls(ip=ip, transport=transport, payload=payload, timestamp=timestamp)

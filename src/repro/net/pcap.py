@@ -105,9 +105,14 @@ def read_pcap(path: "str | Path") -> list[Packet]:
             seconds, micros, captured, _original = struct.unpack(
                 order + "IIII", record_header
             )
-            data = handle.read(captured)
-            if len(data) < captured:
+            record = handle.read(captured)
+            if len(record) < captured:
                 raise ValueError(f"{path}: truncated pcap record body")
+            # One allocation per record (the read itself); everything
+            # downstream — frame strip, header parse, payload — slices
+            # this view, so packet payloads reach the extractor fold
+            # path without a single intermediate copy.
+            data = memoryview(record)
             if linktype == LINKTYPE_ETHERNET:
                 frame = EthernetHeader.from_bytes(data)
                 if not frame.is_ipv4:

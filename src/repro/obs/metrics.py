@@ -202,6 +202,25 @@ class Histogram:
         self._sum += value
         self._count += 1
 
+    def observe_many(self, values) -> None:
+        """Observe every value of an iterable (or array) in one call.
+
+        Equivalent to looping :meth:`observe`, but callers producing a
+        whole batch of observations (e.g. per-flow state bytes of a
+        classify drain) pay one method call instead of one per value.
+        """
+        bounds = self._bounds
+        counts = self._counts
+        bisect_left = bisect.bisect_left
+        total = 0.0
+        n = 0
+        for value in values:
+            counts[bisect_left(bounds, value)] += 1
+            total += value
+            n += 1
+        self._sum += total
+        self._count += n
+
     def time(self) -> Timer:
         """A :class:`Timer` observing elapsed seconds into this histogram."""
         return Timer(self.observe)

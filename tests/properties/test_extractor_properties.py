@@ -5,7 +5,11 @@ k-gram folding is *vector-identical* (within 1e-12) to batch extraction
 over the same first-``b`` bytes, no matter how packets fragment the
 stream: single packet, 1-byte packets, arbitrary uneven splits, payload
 overshooting the buffer, or a timeout firing on a partially filled
-window.
+window. The vectorized :meth:`fold_batch` cross-flow path must agree
+with all of the above too — including when its chunks arrive as
+zero-copy memoryviews off the pcap path — and the view-list counter
+representation must match an independent dict-folding reference
+gram-for-gram.
 """
 
 import numpy as np
@@ -110,6 +114,127 @@ class TestFragmentationEquivalence:
         extractor, state = folded_state(feature_set, 32, chunks)
         assert extractor.folded_bytes(state) == len(payload)
         assert_matches_batch(feature_set, 32, chunks)
+
+
+def dict_fold_reference(payload: bytes, widths, buffer_size: int):
+    """Independent gram counter: pure-Python dicts over the first b bytes."""
+    window = payload[:buffer_size]
+    tables = {}
+    for k in widths:
+        table = {}
+        for i in range(len(window) - k + 1):
+            gram = window[i : i + k]
+            key = int.from_bytes(gram, "big") if k <= 8 else gram
+            table[key] = table.get(key, 0) + 1
+        tables[k] = table
+    return tables
+
+
+class TestFoldBatchEquivalence:
+    """fold_batch(states, chunk-lists) == per-chunk fold == batch windows."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=10, max_size=90), min_size=1, max_size=6
+        ),
+        cut_points=st.lists(st.integers(0, 89), max_size=8),
+        rounds=st.integers(1, 3),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_matches_scalar_fold_and_batch_window(
+        self, payloads, cut_points, rounds, set_index
+    ):
+        feature_set = FEATURE_SETS[set_index]
+        extractor = IncrementalEntropyExtractor(feature_set, 32)
+        # Reference: per-chunk scalar folds.
+        scalar_states = []
+        for payload in payloads:
+            _, state = folded_state(
+                feature_set, 32, fragments(payload, cut_points)
+            )
+            scalar_states.append(state)
+        # Under test: the same chunks split (in arrival order) over
+        # `rounds` fold_batch calls, delivered as memoryviews (the
+        # zero-copy pcap shape).
+        batch_states = [extractor.new_state() for _ in payloads]
+        per_flow = [fragments(payload, cut_points) for payload in payloads]
+        for r in range(rounds):
+            chunk_lists = [
+                [
+                    memoryview(c)
+                    for c in chunks[
+                        r * len(chunks) // rounds :
+                        (r + 1) * len(chunks) // rounds
+                    ]
+                ]
+                for chunks in per_flow
+            ]
+            extractor.fold_batch(batch_states, chunk_lists)
+        for scalar, batched in zip(scalar_states, batch_states):
+            assert scalar.folded == batched.folded
+            assert scalar.carry == batched.carry
+        got = extractor.finalize_batch(batch_states)
+        want = extractor.finalize_batch(scalar_states)
+        assert float(np.max(np.abs(got - want))) == 0.0
+        direct = np.stack(
+            [
+                entropy_vector(payload[:32], feature_set).values
+                for payload in payloads
+            ]
+        )
+        assert float(np.max(np.abs(got - direct))) <= TOLERANCE
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        payload=st.binary(min_size=10, max_size=90),
+        cut_points=st.lists(st.integers(0, 89), max_size=8),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_counters_match_dict_reference(
+        self, payload, cut_points, set_index
+    ):
+        feature_set = FEATURE_SETS[set_index]
+        extractor = IncrementalEntropyExtractor(feature_set, 32)
+        state = extractor.new_state()
+        extractor.fold_batch([state], [fragments(payload, cut_points)])
+        want = dict_fold_reference(payload, feature_set.widths, 32)
+        got = extractor.counters(state)
+        # Chunk order must not matter: fold in arrival order == one pass.
+        assert got == want
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=10, max_size=60), min_size=1, max_size=5
+        ),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_state_bytes_batch_matches_per_flow(self, payloads, set_index):
+        feature_set = FEATURE_SETS[set_index]
+        extractor = IncrementalEntropyExtractor(feature_set, 32)
+        states = [extractor.new_state() for _ in payloads]
+        extractor.fold_batch(states, [[p] for p in payloads])
+        batched = extractor.state_bytes_batch(states)
+        per_flow = np.array([extractor.state_bytes(s) for s in states])
+        assert batched.shape == (len(payloads),)
+        assert float(np.max(np.abs(batched - per_flow))) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        payload=st.binary(min_size=40, max_size=200),
+        cut_points=st.lists(st.integers(0, 199), max_size=6),
+        set_index=st.integers(0, len(FEATURE_SETS) - 1),
+    )
+    def test_caps_at_buffer_size(self, payload, cut_points, set_index):
+        feature_set = FEATURE_SETS[set_index]
+        extractor = IncrementalEntropyExtractor(feature_set, 32)
+        state = extractor.new_state()
+        extractor.fold_batch([state], [fragments(payload, cut_points)])
+        assert state.folded == 32
+        expected = entropy_vector(payload[:32], feature_set).values
+        got = extractor.vector(state)
+        assert float(np.max(np.abs(got - expected))) <= TOLERANCE
 
 
 class TestFinalizeBatch:
