@@ -18,11 +18,13 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
     print(repro.render_text(engine.metrics))   # telemetry scrape
 
 Subpackages: ``repro.core`` (entropy vectors, estimation, classifier,
-CDB, pipeline), ``repro.engine`` (staged online engine), ``repro.obs``
-(telemetry), ``repro.ml`` (CART, SVM/SMO/DAGSVM), ``repro.streaming``
-(AMS / stream-entropy estimation), ``repro.net`` (packets, flows, pcap,
-trace generation), ``repro.data`` (synthetic corpus), ``repro.analysis``
-(KL/JSD divergences), ``repro.experiments`` (benchmark harness).
+CDB, pipeline), ``repro.engine`` (staged online engine),
+``repro.runtime`` (execution runtimes: serial / worker threads),
+``repro.obs`` (telemetry), ``repro.ml`` (CART, SVM/SMO/DAGSVM),
+``repro.streaming`` (AMS / stream-entropy estimation), ``repro.net``
+(packets, flows, pcap, trace generation), ``repro.data`` (synthetic
+corpus), ``repro.analysis`` (KL/JSD divergences), ``repro.experiments``
+(benchmark harness).
 """
 
 from repro.analysis import jensen_shannon_divergence, kl_divergence
@@ -81,7 +83,7 @@ from repro.obs import (
     validate_text,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BINARY",

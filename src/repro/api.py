@@ -116,6 +116,13 @@ def open_engine(
     k-gram counting (no payload retained — the paper's ~200 B state
     shape); it requires a pure first-``b``-bytes pipeline (no header
     stripping/skipping, no random skip, no estimation).
+
+    ``EngineConfig(runtime="thread", num_workers=N)`` executes the shard
+    pipelines on worker threads under a classify coordinator instead of
+    inline (see :mod:`repro.runtime`); per-flow labels match the serial
+    runtime, outcome *order* does not. Thread-runtime engines own worker
+    threads — use the engine as a context manager or call
+    ``engine.close()`` when done.
     """
     if isinstance(classifier, (str, os.PathLike)):
         classifier = load_model(classifier)

@@ -10,6 +10,7 @@ Subcommands::
                                    [--labels labels.json] [--json out.json]
                                    [--metrics metrics.prom]
                                    [--extractor batch|incremental]
+                                   [--runtime serial|thread] [--workers N]
 
 ``gen-trace`` writes a synthetic gateway trace as a classic pcap plus an
 optional ground-truth label file; ``train`` builds a classifier from a
@@ -110,6 +111,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
     trace = Trace(packets=read_pcap(args.pcap), labels=labels)
     extractor = getattr(args, "extractor", "batch")
+    runtime = getattr(args, "runtime", "serial")
     pipeline = IustitiaConfig(
         buffer_size=classifier.buffer_size,
         # The incremental extractor folds counters at arrival and keeps
@@ -118,13 +120,20 @@ def _cmd_classify(args: argparse.Namespace) -> int:
     )
     try:
         engine = open_engine(
-            classifier, EngineConfig(extractor=extractor, pipeline=pipeline)
+            classifier,
+            EngineConfig(
+                extractor=extractor,
+                runtime=runtime,
+                num_workers=getattr(args, "workers", 0),
+                pipeline=pipeline,
+            ),
         )
     except ValueError as exc:
-        print(f"error: cannot use --extractor {extractor}: {exc}",
-              file=sys.stderr)
+        print(f"error: cannot use --extractor {extractor} "
+              f"with --runtime {runtime}: {exc}", file=sys.stderr)
         return 2
-    stats = engine.process_trace(trace)
+    with engine:
+        stats = engine.process_trace(trace)
 
     results = []
     for outcome in stats.classified:
@@ -200,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
         "drain time (batch, default; enables header stripping) or fold "
         "k-gram counters at packet arrival with no payload retained "
         "(incremental)",
+    )
+    classify.add_argument(
+        "--runtime",
+        choices=("serial", "thread"),
+        default="serial",
+        help="execution runtime: run every shard pipeline inline "
+        "(serial, default) or pin shards to worker threads under a "
+        "classify coordinator (thread)",
+    )
+    classify.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker threads for --runtime thread "
+        "(0 = one per shard, capped at CPU count)",
     )
     classify.set_defaults(func=_cmd_classify)
     return parser

@@ -138,6 +138,20 @@ class EngineConfig:
     #: buffer_size) -> FeatureExtractor`` plugs in alternative fragment
     #: features (see :mod:`repro.core.extract`).
     extractor: "str | object" = "batch"
+    #: Execution runtime driving the shard pipelines (see
+    #: :mod:`repro.runtime`): ``"serial"`` (default) runs every shard
+    #: inline, packet-for-packet equivalent to the fused engine;
+    #: ``"thread"`` pins shards to worker threads under a classify
+    #: coordinator. A callable ``(engine_config) -> Runtime`` plugs in
+    #: a custom executor.
+    runtime: "str | object" = "serial"
+    #: Worker threads for the thread runtime (0 = one per shard, capped
+    #: at the machine's CPU count). Ignored by the serial runtime.
+    num_workers: int = 0
+    #: Bound of each worker's ingress queue (packets). A full queue
+    #: blocks dispatch — backpressure instead of unbounded buffering.
+    #: Ignored by the serial runtime.
+    queue_depth: int = 1024
     #: Template for the remaining pipeline knobs (feature set, header
     #: handling, CDB purging, Section-4.6 defenses).
     pipeline: "IustitiaConfig | None" = None
@@ -151,6 +165,27 @@ class EngineConfig:
             raise ValueError(f"max_delay must be >= 0, got {self.max_delay}")
         if self.fold_batch < 0:
             raise ValueError(f"fold_batch must be >= 0, got {self.fold_batch}")
+        if isinstance(self.runtime, str):
+            from repro.runtime import RUNTIMES
+
+            if self.runtime not in RUNTIMES:
+                raise ValueError(
+                    f"unknown runtime {self.runtime!r}; expected one of "
+                    f"{', '.join(sorted(RUNTIMES))}"
+                )
+        elif not callable(self.runtime):
+            raise TypeError(
+                "runtime must be a registry name or a factory callable, "
+                f"got {type(self.runtime).__name__}"
+            )
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        if self.queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
         if isinstance(self.extractor, str):
             from repro.core.extract import EXTRACTORS
 

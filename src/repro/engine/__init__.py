@@ -10,11 +10,15 @@ collection / classification / export pipelines):
   O(expired) buffer-timeout flushes;
 * :mod:`~repro.engine.batcher`    — micro-batches ready flows through
   the vectorized ``classify_buffers`` kernels;
+* :mod:`~repro.engine.shard`      — :class:`ShardPipeline`, one
+  shard's lookup/buffer/fold/ready stages as a self-contained unit;
 * :mod:`~repro.engine.sinks`      — pluggable outcome subscribers
   (stats, per-nature queues, callbacks);
-* :mod:`~repro.engine.engine`     — :class:`StagedEngine`, the
-  composition.
+* :mod:`~repro.engine.engine`     — :class:`StagedEngine`, the thin
+  dispatch/classify/fan-out facade over the shard pipelines.
 
+*Who executes the shard pipelines* — inline or on worker threads — is
+the :mod:`repro.runtime` layer's job (``EngineConfig(runtime=...)``).
 ``repro.core.pipeline.IustitiaEngine`` remains as a synchronous facade
 (``max_batch=1``) with the historical surface.
 """
@@ -23,6 +27,7 @@ from repro.engine.batcher import FoldBatcher, MicroBatcher, ReadyFlow
 from repro.engine.deadlines import DeadlineWheel
 from repro.engine.engine import StagedEngine
 from repro.engine.flow_table import FlowShard, ShardedFlowTable
+from repro.engine.shard import IngestResult, ShardPipeline, WindowPolicy
 from repro.engine.sinks import (
     CallbackSink,
     MetricsSink,
@@ -38,6 +43,7 @@ __all__ = [
     "DeadlineWheel",
     "EngineStats",
     "FlowShard",
+    "IngestResult",
     "MetricsSink",
     "FoldBatcher",
     "MicroBatcher",
@@ -45,7 +51,9 @@ __all__ = [
     "QueueSink",
     "ReadyFlow",
     "ResultSink",
+    "ShardPipeline",
     "ShardedFlowTable",
     "StagedEngine",
     "StatsSink",
+    "WindowPolicy",
 ]

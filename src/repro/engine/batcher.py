@@ -33,11 +33,20 @@ class ReadyFlow:
     count tables) for streaming extractors. Either way it is captured
     when the flow becomes ready (buffer full, FIN, or timeout), so
     batching changes *when* the model runs, never *what* it sees.
+
+    ``seq`` / ``first_arrival`` / ``shard`` carry enough of the pending
+    flow's identity for a coordinator in another thread to classify the
+    batch (ordering, delay metrics) and route the label back to the
+    owning :class:`~repro.engine.shard.ShardPipeline` without touching
+    shard-local state.
     """
 
     flow_id: bytes
     window: "bytes | object"
     protocol: "str | None"
+    seq: int = 0
+    first_arrival: float = 0.0
+    shard: int = 0
 
 
 #: Why a batch drained, for the ``batcher_drains_total`` reason split:

@@ -1,54 +1,52 @@
-"""The staged online engine (Figure 1, restructured).
+"""The staged online engine: a thin facade over per-shard pipelines.
 
 ``StagedEngine`` composes the explicit pipeline stages that the paper's
 Figure 1 draws and the monolithic ``IustitiaEngine`` fused together:
 
-1. **hash + shard** — SHA-1 the 5-tuple, route to a shard of the
-   :class:`~repro.engine.flow_table.ShardedFlowTable`;
-2. **CDB lookup** — known flows forward straight to the sinks;
-3. **buffer / fold** — unknown flows accumulate per-flow feature state
-   in the shard's pending table: each data packet folds through the
-   engine's :class:`~repro.core.extract.FeatureExtractor` (raw payload
-   for the batch extractor, k-gram counters for the incremental one),
-   with the flow's inactivity deadline kept by the
-   :class:`~repro.engine.deadlines.DeadlineWheel`;
-4. **extract + classify** — flows whose window is ready (buffer full,
-   FIN/RST, or deadline expiry) queue in the
-   :class:`~repro.engine.batcher.MicroBatcher` and drain through one
-   extractor ``finalize`` + vectorized predict call per batch;
-5. **forward** — outcomes fan out to the pluggable
-   :class:`~repro.engine.sinks.ResultSink` list.
+1. **hash + shard** — SHA-1 the 5-tuple, route to one
+   :class:`~repro.engine.shard.ShardPipeline` (the facade's only
+   per-packet job);
+2. **CDB lookup / buffer / fold / ready** — entirely shard-local, owned
+   by the pipeline: pending buffers, the
+   :class:`~repro.engine.deadlines.DeadlineWheel`, fold batching, and
+   the per-shard :class:`~repro.engine.batcher.MicroBatcher`;
+3. **extract + classify** — ready flows drain through one extractor
+   ``finalize`` + vectorized predict call per batch
+   (:meth:`classify_labels`), then apply back to their owning shard;
+4. **forward** — outcomes fan out to the pluggable
+   :class:`~repro.engine.sinks.ResultSink` list (:meth:`emit`).
 
-With ``max_batch=1`` every stage acts synchronously and the engine is
-packet-for-packet equivalent to the seed monolith (the equivalence test
-checks labels, counters, and the CDB size series). Larger ``max_batch``
-trades bounded classification latency (``max_delay`` on the packet
-clock) for the 30-80x batched extraction/predict kernels on the fill
-path.
+*Who runs what* is delegated to a :mod:`repro.runtime` runtime: the
+default :class:`~repro.runtime.SerialRuntime` drives shards inline and
+is packet-for-packet equivalent to the fused engine (the equivalence
+suite checks labels, counters, and the CDB size series at
+``max_batch=1``); :class:`~repro.runtime.ThreadRuntime` pins shards to
+worker threads and merges their drains into cross-shard classify
+batches. The facade keeps only cross-shard concerns: dispatch, the
+classify kernels, sink fan-out, the shard-global purge trigger, and
+merged stats/metrics.
 """
 
 from __future__ import annotations
 
-import warnings
-from time import perf_counter
+from itertools import count
 
 import numpy as np
 
 from repro.core.classifier import IustitiaClassifier
 from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.extract import make_extractor
-from repro.core.headers import skip_threshold, strip_app_header
 from repro.core.labels import ALL_NATURES, FlowNature
-from repro.engine.batcher import FoldBatcher, MicroBatcher, ReadyFlow
-from repro.engine.deadlines import DeadlineWheel
 from repro.engine.flow_table import ShardedFlowTable
+from repro.engine.shard import ShardPipeline, WindowPolicy
 from repro.engine.sinks import DELAY_BUCKETS, MetricsSink, ResultSink, StatsSink
-from repro.engine.types import ClassifiedFlow, EngineStats, PendingFlow
+from repro.engine.types import ClassifiedFlow, EngineStats
 from repro.net.flow import FlowKey
 from repro.net.hashing import flow_hash
 from repro.net.packet import Packet
 from repro.net.trace import Trace
 from repro.obs import MetricsRegistry
+from repro.runtime import make_runtime
 
 __all__ = ["StagedEngine"]
 
@@ -58,13 +56,6 @@ __all__ = ["StagedEngine"]
 #: first classification is always sampled.
 STATE_SAMPLE_EVERY = 512
 
-#: Wall-clock-sample every Nth scalar fold when telemetry is on: two
-#: ``perf_counter`` calls per packet cost as much as the array fold
-#: itself at small payloads, so the fold timer samples 1-in-N and scales
-#: the measurement up (fold *counts* stay exact). The first fold is
-#: always sampled.
-FOLD_TIMER_SAMPLE_EVERY = 64
-
 #: Buckets for per-flow state bytes: centred on the paper's ~200 B
 #: (b=32) and 5.1 KB (b=1024) Table-3 figures.
 STATE_BYTE_BUCKETS = (
@@ -72,17 +63,43 @@ STATE_BYTE_BUCKETS = (
 )
 
 
+class _StageView:
+    """Read-only aggregate over the per-shard instances of one stage.
+
+    ``engine.wheel`` and ``engine.batcher`` kept their monolith-era
+    meaning (how many flows are scheduled / queued *overall*) when the
+    stages moved into the shard pipelines; this view preserves that
+    surface without pretending there is still one global instance.
+    """
+
+    __slots__ = ("_parts",)
+
+    def __init__(self, parts) -> None:
+        self._parts = parts
+
+    def __len__(self) -> int:
+        return sum(len(part) for part in self._parts)
+
+    def __contains__(self, flow_id: bytes) -> bool:
+        return any(flow_id in part for part in self._parts)
+
+
 class StagedEngine:
     """Staged online flow-nature classifier engine.
 
     Configure with one frozen :class:`~repro.core.config.EngineConfig`
-    (preferred) or a legacy :class:`IustitiaConfig` plus the deprecated
-    ``num_shards`` / ``max_batch`` / ``max_delay`` keywords. Unless
-    telemetry is disabled (``EngineConfig(telemetry=False)``), every
-    stage registers instruments on ``self.metrics`` — a
+    (or a bare :class:`IustitiaConfig`, wrapped with engine defaults).
+    The former ``num_shards`` / ``max_batch`` / ``max_delay`` keywords
+    were removed — passing them raises ``TypeError``. Unless telemetry
+    is disabled (``EngineConfig(telemetry=False)``), every stage
+    registers instruments on ``self.metrics`` — a
     :class:`repro.obs.MetricsRegistry`, shareable via the ``registry``
-    argument — and a run yields live counters, gauges, and histograms
-    for each paper claim (see DESIGN.md's metric map).
+    argument, with per-shard stages bound to lock-free child registries
+    merged at scrape time — and a run yields live counters, gauges, and
+    histograms for each paper claim (see DESIGN.md's metric map).
+
+    Engines using the thread runtime own worker threads: call
+    :meth:`close` (or use the engine as a context manager) when done.
     """
 
     def __init__(
@@ -91,42 +108,20 @@ class StagedEngine:
         config: "EngineConfig | IustitiaConfig | None" = None,
         rng: "np.random.Generator | None" = None,
         *,
-        num_shards: "int | None" = None,
-        max_batch: "int | None" = None,
-        max_delay: "float | None" = None,
         sinks: "list[ResultSink] | None" = None,
         registry: "MetricsRegistry | None" = None,
+        **legacy,
     ) -> None:
+        if legacy:
+            raise TypeError(
+                f"StagedEngine({', '.join(sorted(legacy))}=...) keywords were "
+                "removed; set them on repro.EngineConfig(...) and pass that "
+                "as config"
+            )
         if isinstance(config, EngineConfig):
-            if num_shards is not None or max_batch is not None or max_delay is not None:
-                raise TypeError(
-                    "num_shards/max_batch/max_delay are fields of EngineConfig; "
-                    "set them there instead of passing keywords"
-                )
             engine_config = config
         else:
-            legacy = [
-                name
-                for name, value in (
-                    ("num_shards", num_shards),
-                    ("max_batch", max_batch),
-                    ("max_delay", max_delay),
-                )
-                if value is not None
-            ]
-            if legacy:
-                warnings.warn(
-                    f"StagedEngine({', '.join(legacy)}=...) keywords are "
-                    "deprecated; pass repro.EngineConfig(...) as config",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            engine_config = EngineConfig(
-                num_shards=num_shards if num_shards is not None else 8,
-                max_batch=max_batch if max_batch is not None else 32,
-                max_delay=max_delay if max_delay is not None else 0.05,
-                pipeline=config,
-            )
+            engine_config = EngineConfig(pipeline=config)
         self.classifier = classifier
         self.engine_config = engine_config
         self.config = engine_config.pipeline
@@ -161,24 +156,6 @@ class StagedEngine:
                     f"disable {', '.join(needs_payload)} or use the 'batch' "
                     "extractor"
                 )
-        # Fold-batching stage: streaming extractors (no payload retained,
-        # state only read at classify drains) may defer per-packet folds
-        # and absorb a whole tick's chunks in one vectorized fold_batch
-        # call. The batch extractor folds immediately — its raw window is
-        # re-read at readiness, so its state must always be current.
-        # fold_batch=1 opts back into fold-at-arrival.
-        self._defer_folds = (
-            not self.extractor.retains_payload
-            and engine_config.fold_batch != 1
-        )
-        # With no size trigger (fold_batch=0) every fold happens at a
-        # classify drain, which can find its flows through the table —
-        # the per-packet batcher registration would be pure overhead, so
-        # it is skipped entirely in that mode.
-        self._fold_on_classify = (
-            self._defer_folds and engine_config.fold_batch == 0
-        )
-        self.fold_batcher = FoldBatcher(engine_config.fold_batch)
         self._state_bytes_batch = getattr(
             self.extractor, "state_bytes_batch", None
         )
@@ -188,20 +165,44 @@ class StagedEngine:
             purge_trigger_flows=self.config.purge_trigger_flows,
             extractor=self.extractor,
         )
-        self.wheel = DeadlineWheel()
-        self.batcher = MicroBatcher(
-            max_batch=engine_config.max_batch, max_delay=engine_config.max_delay
+        self._rng = rng if rng is not None else np.random.default_rng()
+        policy = WindowPolicy(
+            extractor=self.extractor,
+            config=self.config,
+            min_window=classifier.feature_set.max_width,
+            rng=self._rng,
         )
+        # One global arrival-sequence mint shared by every shard: drains
+        # sort ready flows by ``seq``, reproducing the monolith's global
+        # classify order under the serial runtime.
+        seq = count()
+        self.pipelines = [
+            ShardPipeline(
+                shard,
+                extractor=self.extractor,
+                policy=policy,
+                max_batch=engine_config.max_batch,
+                max_delay=engine_config.max_delay,
+                fold_batch=engine_config.fold_batch,
+                buffer_timeout=self.config.buffer_timeout,
+                reclassify_interval=self.config.reclassify_interval,
+                next_seq=seq.__next__,
+            )
+            for shard in self.table.shards
+        ]
         self.sinks: list[ResultSink] = (
             list(sinks) if sinks is not None else [StatsSink()]
         )
-        self.stats = EngineStats()
+        self._packets = 0
+        self._data_packets = 0
+        self._series: list[tuple[float, int]] = []
+        self._classified_ref: "list[ClassifiedFlow] | None" = None
         for sink in self.sinks:
             if isinstance(sink, StatsSink):
-                # Share the sink's list so stats.classified fills in place.
-                self.stats.classified = sink.classified
+                # Surface the sink's list as stats.classified.
+                self._classified_ref = sink.classified
                 break
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._inserts_since_purge = 0
         if registry is None and engine_config.telemetry:
             # Adopt an attached MetricsSink's registry so the whole
             # telemetry plane (stage instruments + sink outcomes) lands
@@ -213,31 +214,95 @@ class StagedEngine:
             else:
                 registry = MetricsRegistry()
         self.metrics: "MetricsRegistry | None" = registry
+        # Bind the runtime before the instruments: runtimes may rewire
+        # the pipelines' stage instances (the serial runtime aliases one
+        # shared micro-batcher into every shard), and the instruments
+        # must land on whatever objects actually run.
+        self.runtime = make_runtime(engine_config)
+        self.runtime.bind(self)
         self._bind_metrics(registry)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the runtime's workers (no-op for the serial runtime)."""
+        self.runtime.close()
+
+    def __enter__(self) -> "StagedEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- merged state --------------------------------------------------------
+
+    @property
+    def stats(self) -> EngineStats:
+        """Merged counters: facade dispatch + every shard, at read time.
+
+        Shards own their counters (no cross-thread writes on the fill
+        path); each access builds a fresh merged snapshot, so read the
+        attribute again after more packets rather than holding one.
+        """
+        merged = EngineStats(
+            packets=self._packets, data_packets=self._data_packets
+        )
+        for pipeline in self.pipelines:
+            stats = pipeline.stats
+            merged.cdb_hits += stats.cdb_hits
+            merged.classifications += stats.classifications
+            merged.unclassifiable += stats.unclassifiable
+            merged.fin_removals += stats.fin_removals
+            merged.reclassifications += stats.reclassifications
+            for nature, value in stats.per_class.items():
+                merged.per_class[nature] += value
+        merged.cdb_size_series = self._series
+        if self._classified_ref is not None:
+            merged.classified = self._classified_ref
+        return merged
+
+    def shard_index(self, flow_id: bytes) -> int:
+        """Shard pipeline owning a flow ID (16-bit hash prefix)."""
+        return self.table.shard_index(flow_id)
+
+    @property
+    def wheel(self) -> _StageView:
+        """Aggregate view over every shard's deadline wheel."""
+        return _StageView([pipeline.wheel for pipeline in self.pipelines])
+
+    @property
+    def batcher(self) -> _StageView:
+        """Aggregate view over the runtime's classify micro-batchers."""
+        return _StageView(self.runtime.batchers())
+
+    # -- telemetry -----------------------------------------------------------
 
     def _bind_metrics(self, registry: "MetricsRegistry | None") -> None:
         """Create this engine's instruments (every stage binds too)."""
-        self._fold_seconds = 0.0
-        self._fold_calls = 0
-        self._fold_countdown = 0
-        self._time_folds = registry is not None
         if registry is None:
             self._m_delay = None
             self._m_classify = None
             self._m_finalize = None
             self._m_state_bytes = None
-            self._m_cdb_hits = None
-            self._m_unclassifiable = None
-            self._m_reclassified = None
-            self._m_classified = None
             self._state_countdown = 0
             self._delay_buf = []
             return
         self.table.bind_metrics(registry)
-        self.wheel.bind_metrics(registry)
-        self.batcher.bind_metrics(registry)
-        if self._defer_folds:
-            self.fold_batcher.bind_metrics(registry)
+        bound_folds: set[int] = set()
+        for pipeline in self.pipelines:
+            # Shard stages fill a lock-free child registry each; the
+            # parent sums same-name instruments at scrape time. The
+            # fold accumulator may be shared across pipelines (serial
+            # runtime) — bind each distinct instance exactly once.
+            child = registry.child()
+            pipeline.bind_metrics(child)
+            if pipeline._defer_folds and id(pipeline.fold_batcher) not in bound_folds:
+                bound_folds.add(id(pipeline.fold_batcher))
+                pipeline.fold_batcher.bind_metrics(child)
+        # The classify micro-batcher belongs to the runtime (one shared
+        # instance, a coordinator batcher, ...); let it bind its own.
+        self.runtime.bind_metrics(registry)
         self._m_delay = registry.histogram(
             "engine_classification_delay_seconds",
             buckets=DELAY_BUCKETS,
@@ -298,6 +363,7 @@ class StagedEngine:
         # per engine, so engines sharing a registry still aggregate.
         self._synced_counts = {
             "cdb_hits": 0,
+            "unclassifiable": 0,
             "reclassifications": 0,
             "fold_seconds": 0.0,
             "fold_calls": 0,
@@ -316,143 +382,50 @@ class StagedEngine:
         """Sync the engine's pull-based instruments (scrape-time only).
 
         The classify loop runs per flow and the CDB hit path per packet,
-        so the hot path keeps plain stats ints and a deferred delay list
-        (flushed every ``STATE_SAMPLE_EVERY`` classifications to stay
-        bounded), and this collector levels the counters and the delay
-        histogram up to them when the registry is scraped.
+        so the hot path keeps plain shard-local ints and a deferred
+        delay list, and this collector levels the facade's counters up
+        to the merged values when the registry is scraped. Under the
+        thread runtime the reads are unsynchronized snapshots of
+        monotonic ints — scrapes may run a few events behind, never
+        backwards.
         """
         self._flush_delay_buf()
+        stats = self.stats
         for nature, counter in self._m_classified.items():
-            current = self.stats.per_class[nature]
+            current = stats.per_class[nature]
             counter.inc(current - self._synced_classified[nature])
             self._synced_classified[nature] = current
         synced = self._synced_counts
-        self._m_cdb_hits.inc(self.stats.cdb_hits - synced["cdb_hits"])
-        synced["cdb_hits"] = self.stats.cdb_hits
+        self._m_cdb_hits.inc(stats.cdb_hits - synced["cdb_hits"])
+        synced["cdb_hits"] = stats.cdb_hits
+        self._m_unclassifiable.inc(
+            stats.unclassifiable - synced["unclassifiable"]
+        )
+        synced["unclassifiable"] = stats.unclassifiable
         self._m_reclassified.inc(
-            self.stats.reclassifications - synced["reclassifications"]
+            stats.reclassifications - synced["reclassifications"]
         )
-        synced["reclassifications"] = self.stats.reclassifications
-        # Fold timing accumulates in plain floats/ints on the packet path;
-        # level the labeled counters up to them here.
-        self._m_fold_seconds.inc(self._fold_seconds - synced["fold_seconds"])
-        synced["fold_seconds"] = self._fold_seconds
-        self._m_folds.inc(self._fold_calls - synced["fold_calls"])
-        synced["fold_calls"] = self._fold_calls
+        synced["reclassifications"] = stats.reclassifications
+        # Fold timing accumulates in plain shard-local floats/ints on the
+        # packet path; level the labeled counters up to their sums here.
+        fold_seconds = sum(p.fold_seconds for p in self.pipelines)
+        fold_calls = sum(p.fold_calls for p in self.pipelines)
+        self._m_fold_seconds.inc(fold_seconds - synced["fold_seconds"])
+        synced["fold_seconds"] = fold_seconds
+        self._m_folds.inc(fold_calls - synced["fold_calls"])
+        synced["fold_calls"] = fold_calls
 
-    # -- stage 3/4 helpers ----------------------------------------------------
+    # -- coordinator surface (called by runtimes) -----------------------------
 
-    @property
-    def _target_bytes(self) -> int:
-        """Raw payload bytes to buffer before classifying."""
-        return (
-            self.config.buffer_size
-            + self.config.header_threshold
-            + self.config.random_skip_max
-        )
+    def classify_labels(self, batch, now: float):
+        """Run the batched finalize + predict kernels over ready flows.
 
-    def _classification_window(self, raw: bytes) -> "tuple[bytes, str | None]":
-        """Apply header stripping/skipping; returns (window, protocol)."""
-        protocol = None
-        window = raw
-        min_window = self.classifier.feature_set.max_width
-        if self.config.random_skip_max:
-            # Section 4.6 defense: examine bytes at an unpredictable offset
-            # so adversarial padding at the flow head is skipped over.
-            skip = int(self._rng.integers(0, self.config.random_skip_max + 1))
-            skipped = skip_threshold(raw, skip)
-            if len(skipped) >= min_window:
-                window = skipped
-        if self.config.strip_known_headers:
-            protocol, window = strip_app_header(window)
-        if protocol is None and self.config.header_threshold:
-            thresholded = skip_threshold(window, self.config.header_threshold)
-            if len(thresholded) >= min_window:
-                window = thresholded
-            # else: short flow — skipping T would leave nothing usable;
-            # keep the unskipped bytes rather than dropping the flow.
-        return window[: self.config.buffer_size], protocol
-
-    def _make_ready(
-        self, flow_id: bytes, pending: PendingFlow, now: float, force: bool
-    ) -> "dict[bytes, FlowNature]":
-        """Freeze a flow's classification payload and hand it to the batcher.
-
-        Payload-retaining extractors surrender their raw window here and
-        the engine re-windows it (header stripping / skipping, random
-        skip); streaming extractors queue the state object itself — no
-        payload exists to re-window, which is why the constructor rejects
-        configs that would need one. Too-short windows are dropped as
-        unclassifiable on the spot (the window cannot improve: readiness
-        means the buffer is full, the flow closed, or its deadline
-        expired). Returns whatever the push drained — non-empty when the
-        size trigger fired or ``force`` flushed the queue (FIN/RST needs
-        the label *now*).
+        Pure classification: no shard state is touched, so any thread
+        may call it (the thread runtime's coordinator does). Observes
+        the classify/finalize timers and the delay / state-bytes
+        distributions from the ``ReadyFlow`` metadata alone.
         """
-        if self.extractor.retains_payload:
-            window, protocol = self._classification_window(
-                self.extractor.raw_window(pending.state)
-            )
-            usable = len(window) >= self.classifier.feature_set.max_width
-        else:
-            window, protocol = pending.state, None
-            folded = self.extractor.folded_bytes(pending.state)
-            if pending.unfolded:
-                # Deferred chunks count toward readiness: by the time the
-                # state is read (classify drain), they will have folded,
-                # up to the extractor's window cap.
-                folded = min(
-                    folded + sum(len(chunk) for chunk in pending.unfolded),
-                    self.extractor.buffer_size,
-                )
-            usable = folded >= self.classifier.feature_set.max_width
-        if not usable:
-            self.stats.unclassifiable += 1
-            if self._m_unclassifiable is not None:
-                self._m_unclassifiable.inc()
-            if self._defer_folds:
-                self.fold_batcher.discard(flow_id)
-            self.table.pending_pop(flow_id)
-            self.wheel.cancel(flow_id)
-            return {}
-        pending.queued = True
-        self.wheel.cancel(flow_id)
-        batch = self.batcher.push(
-            ReadyFlow(flow_id=flow_id, window=window, protocol=protocol), now
-        )
-        if force and batch is None:
-            batch = self.batcher.drain(reason="close")
-        if batch:
-            return self._classify_batch(batch, now)
-        return {}
-
-    def _classify_batch(
-        self, batch: "list[ReadyFlow]", now: float
-    ) -> "dict[bytes, FlowNature]":
-        """Classify a drained batch; returns flow_id -> label."""
-        if self._fold_on_classify:
-            # These state objects are about to be finalized: fold their
-            # deferred chunks first (kept outside the classify timer so
-            # fold cost stays attributed to the fold counters). The
-            # flows are still pending — they are popped below, after
-            # labeling.
-            pending_get = self.table.pending_get
-            self._fold_pending(
-                [
-                    pending
-                    for ready in batch
-                    if (pending := pending_get(ready.flow_id)) is not None
-                    and pending.unfolded
-                ]
-            )
-        elif self._defer_folds and len(self.fold_batcher):
-            # Size-triggered mode: fold just the flows being finalized;
-            # others' chunks stay queued, accumulating toward a
-            # full-size fold batch instead of draining early.
-            self._fold_pending(
-                self.fold_batcher.take(ready.flow_id for ready in batch)
-            )
-        payloads = [r.window for r in batch]
+        payloads = [ready.window for ready in batch]
         if self._m_classify is not None:
             with self._m_classify.time():
                 with self._m_finalize.time():
@@ -462,24 +435,17 @@ class StagedEngine:
             labels = self.classifier.predict_vectors(
                 self.extractor.finalize(payloads, self.classifier)
             )
-        exact_state = self.extractor.exact_state_accounting
-        observe_each_state = exact_state and self._state_bytes_batch is None
-        if (
-            exact_state
-            and self._m_delay is not None
-            and self._state_bytes_batch is not None
-        ):
-            # Exact accounting, batched: one vectorized pass charges the
-            # whole drain instead of one state walk per flow.
-            self._m_state_bytes.observe_many(self._state_bytes_batch(payloads))
-        results: dict[bytes, FlowNature] = {}
-        for ready, label in zip(batch, labels):
-            pending = self.table.pending_pop(ready.flow_id)
-            self.table.insert(ready.flow_id, label, now)
-            self.stats.classifications += 1
-            self.stats.per_class[label] += 1
-            if self._m_delay is not None:
-                self._delay_buf.append(now - pending.first_arrival)
+        if self._m_delay is not None:
+            exact_state = self.extractor.exact_state_accounting
+            if exact_state and self._state_bytes_batch is not None:
+                # Exact accounting, batched: one vectorized pass charges
+                # the whole drain instead of one state walk per flow.
+                self._m_state_bytes.observe_many(
+                    self._state_bytes_batch(payloads)
+                )
+            observe_each_state = exact_state and self._state_bytes_batch is None
+            for ready in batch:
+                self._delay_buf.append(now - ready.first_arrival)
                 if observe_each_state:
                     # O(1) on counter-based state: charge every flow.
                     self._m_state_bytes.observe(
@@ -497,186 +463,92 @@ class StagedEngine:
                             self.extractor.state_bytes(ready.window)
                         )
                     self._flush_delay_buf()
-            outcome = ClassifiedFlow(
-                key=pending.key,
-                label=label,
-                classified_at=now,
-                buffering_delay=now - pending.first_arrival,
-                buffered_bytes=pending.raw_bytes,
-                stripped_protocol=ready.protocol,
-            )
-            for sink in self.sinks:
-                sink.on_flow_classified(outcome, pending.packets)
-            results[ready.flow_id] = label
-        return results
+        return labels
 
-    def _drain_batcher(
-        self, now: float, reason: str = "manual"
-    ) -> "dict[bytes, FlowNature]":
-        """Flush whatever the batcher holds (empty dict when idle)."""
-        batch = self.batcher.drain(reason=reason)
+    def classify_apply(self, batch, now: float) -> "dict[bytes, FlowNature]":
+        """Classify a drained batch and apply labels inline (serial path)."""
         if not batch:
             return {}
-        return self._classify_batch(batch, now)
+        labels = self.classify_labels(batch, now)
+        results: dict[bytes, FlowNature] = {}
+        for ready, label in zip(batch, labels):
+            applied = self.pipelines[ready.shard].apply(ready, label, now)
+            if applied is None:
+                continue
+            outcome, packets = applied
+            self.emit(outcome, packets)
+            results[ready.flow_id] = label
+            self.note_inserts(1, now)
+        return results
 
-    def _fold_one(self, state, payload) -> None:
-        """Fold one chunk immediately, with 1-in-N sampled wall-clock.
+    def emit(self, outcome: ClassifiedFlow, packets) -> None:
+        """Fan one classified flow out to every sink."""
+        for sink in self.sinks:
+            sink.on_flow_classified(outcome, packets)
 
-        Per-packet ``perf_counter`` pairs cost as much as a small array
-        fold, so with telemetry on the timer samples every
-        ``FOLD_TIMER_SAMPLE_EVERY``-th fold and scales it up; fold counts
-        stay exact. With telemetry off this is a bare extractor call.
+    def emit_packet(self, label, packet) -> None:
+        """Fan one known-flow packet out to every sink."""
+        for sink in self.sinks:
+            sink.on_packet(label, packet)
+
+    def drain_outbox(self, pipeline) -> None:
+        """Forward a shard's queued CDB-hit packets to the sinks."""
+        events = pipeline.outbox
+        pipeline.outbox = []
+        for label, packet in events:
+            self.emit_packet(label, packet)
+
+    def note_inserts(self, n: int, now: float) -> None:
+        """Count CDB inserts toward the shard-global purge trigger.
+
+        The paper's inactivity sweep fires every ``purge_trigger_flows``
+        inserts *across all shards* — per-shard triggers would purge at
+        different times than the monolithic engine and skew the Figure-8
+        size series — so insert counting stays with the facade and the
+        sweep itself runs wherever shard state lives
+        (``runtime.purge``).
         """
-        if not self._time_folds:
-            self.extractor.fold(state, payload)
+        trigger = self.config.purge_trigger_flows
+        if not trigger:
             return
-        self._fold_calls += 1
-        self._fold_countdown -= 1
-        if self._fold_countdown < 0:
-            self._fold_countdown = FOLD_TIMER_SAMPLE_EVERY - 1
-            fold_start = perf_counter()
-            self.extractor.fold(state, payload)
-            self._fold_seconds += (
-                perf_counter() - fold_start
-            ) * FOLD_TIMER_SAMPLE_EVERY
-        else:
-            self.extractor.fold(state, payload)
-
-    def _drain_folds(self) -> None:
-        """Fold every deferred chunk in one vectorized ``fold_batch`` call."""
-        self._fold_pending(self.fold_batcher.drain())
-
-    def _fold_pending(self, flows: list) -> None:
-        """Fold the deferred chunks of ``flows`` in one ``fold_batch`` call.
-
-        One timer pair per call is amortized over the whole batch, so
-        deferred folding is timed exactly (no sampling needed).
-        """
-        if not flows:
-            return
-        states = [pending.state for pending in flows]
-        chunk_lists = [pending.unfolded for pending in flows]
-        if self._time_folds:
-            fold_start = perf_counter()
-            self.extractor.fold_batch(states, chunk_lists)
-            self._fold_seconds += perf_counter() - fold_start
-            chunks = sum(len(chunk_list) for chunk_list in chunk_lists)
-            self._fold_calls += chunks
-            self.fold_batcher.observe_drain(chunks)
-        else:
-            self.extractor.fold_batch(states, chunk_lists)
-        for pending in flows:
-            pending.unfolded = []
+        self._inserts_since_purge += n
+        if self._inserts_since_purge >= trigger:
+            self._inserts_since_purge = 0
+            self.runtime.purge(now)
 
     # -- packet path ----------------------------------------------------------
 
     def process_packet(self, packet: Packet) -> "FlowNature | None":
-        """Run one packet through the stages; returns its flow's label if known."""
-        self.stats.packets += 1
+        """Run one packet through the stages; returns its flow's label if known.
+
+        Asynchronous runtimes return None unconditionally — outcomes
+        arrive through the sinks.
+        """
+        self._packets += 1
         key = FlowKey.of_packet(packet)
         flow_id = flow_hash(key)
-        now = packet.timestamp
         self.table.note_ingest(flow_id, len(packet.payload))
-        is_close = packet.is_tcp and (packet.transport.fin or packet.transport.rst)
-        if self.batcher.due(now):
-            # The packet clock advanced past the latency bound of the
-            # oldest queued flow: drain before handling this packet.
-            self._drain_batcher(now, reason="delay")
-
-        record = self.table.record_of(flow_id)
-        if record is not None and (
-            self.config.reclassify_interval
-            and record.age(now) > self.config.reclassify_interval
-        ):
-            # Section 4.6 defense: long-lived flows are periodically
-            # re-examined, so padding only defrauds the first interval.
-            self.table.remove(flow_id, reason="reclassified")
-            self.stats.reclassifications += 1
-            record = None
-        if record is not None:
-            label = record.label
-            self.stats.cdb_hits += 1
-            self.table.touch(flow_id, now)
-            if packet.payload:
-                self.stats.data_packets += 1
-                for sink in self.sinks:
-                    sink.on_packet(label, packet)
-            if is_close:
-                self.table.remove(flow_id, reason="fin")
-                self.stats.fin_removals += 1
-            return label
-
-        pending = self.table.pending_get(flow_id)
-        if pending is None:
-            pending = self.table.pending_create(flow_id, key, now)
-        pending.last_arrival = now
         if packet.payload:
-            self.stats.data_packets += 1
-            prior_raw = pending.raw_bytes
-            pending.raw_bytes = prior_raw + len(packet.payload)
-            if self._defer_folds:
-                # Chunks fold in arrival order and each fold caps at the
-                # extractor window, so once the bytes *before* this chunk
-                # already cover the window its fold is provably a no-op —
-                # skip the queue (and the eventual fold) entirely.
-                if prior_raw < self.extractor.buffer_size:
-                    pending.unfolded.append(packet.payload)
-                    if not self._fold_on_classify and self.fold_batcher.push(
-                        flow_id, pending
-                    ):
-                        self._drain_folds()
-            else:
-                self._fold_one(pending.state, packet.payload)
-            pending.packets.append(packet)
-
-        result = None
-        if pending.queued:
-            # Window already with the batcher; a close needs the label now.
-            if is_close:
-                result = self._drain_batcher(now, reason="close").get(flow_id)
-        else:
-            self.wheel.schedule(flow_id, now + self.config.buffer_timeout)
-            if pending.raw_bytes >= self._target_bytes or is_close:
-                # Buffer full — or the flow is over; classify whatever
-                # arrived (or give up).
-                result = self._make_ready(
-                    flow_id, pending, now, force=is_close
-                ).get(flow_id)
-        if is_close and result is not None:
-            self.table.remove(flow_id, reason="fin")
-            self.stats.fin_removals += 1
-        return result
+            self._data_packets += 1
+        is_close = packet.is_tcp and (packet.transport.fin or packet.transport.rst)
+        return self.runtime.dispatch(
+            packet, key, flow_id, packet.timestamp, is_close
+        )
 
     def flush_timeouts(self, now: float) -> int:
         """Classify pending flows inactive beyond ``buffer_timeout``.
 
         Implements "when ... the buffer stops receiving packets for a
-        certain period of time" (Section 4.4.1). The deadline wheel makes
-        this O(expired), independent of how many flows are live. Returns
-        how many flows were handled (classified or dropped).
+        certain period of time" (Section 4.4.1). Each shard's deadline
+        wheel makes this O(expired), independent of how many flows are
+        live. Returns how many flows were handled (classified or
+        dropped); asynchronous runtimes return 0.
         """
-        if self.batcher.due(now):
-            self._drain_batcher(now, reason="delay")
-        expired = [
-            (flow_id, pending)
-            for flow_id in self.wheel.pop_expired(now)
-            if (pending := self.table.pending_get(flow_id)) is not None
-        ]
-        # Classify in global first-arrival order, matching the monolith's
-        # pending-dict iteration (keeps any random-skip draws aligned).
-        expired.sort(key=lambda item: item[1].seq)
-        for flow_id, pending in expired:
-            self._make_ready(flow_id, pending, now, force=False)
-        self._drain_batcher(now, reason="timeout")
-        return len(expired)
+        return self.runtime.flush(now)
 
     def finish(self, now: float) -> None:
-        """End of stream: drain the batcher and classify every pending flow."""
-        self._drain_batcher(now, reason="final")
-        for flow_id, pending in self.table.pending_items():
-            if not pending.queued:
-                self._make_ready(flow_id, pending, now, force=False)
-        self._drain_batcher(now, reason="final")
+        """End of stream: drain every batcher and classify every pending flow."""
+        self.runtime.finish(now)
 
     def process_trace(
         self, trace: Trace, sample_interval: float = 1.0
@@ -689,18 +561,18 @@ class StagedEngine:
         if sample_interval <= 0:
             raise ValueError(f"sample_interval must be positive, got {sample_interval}")
         next_sample = None
+        series = self._series
         for packet in trace.packets:
             self.process_packet(packet)
             if next_sample is None:
                 next_sample = packet.timestamp + sample_interval
             while packet.timestamp >= next_sample:
                 self.flush_timeouts(packet.timestamp)
-                self.stats.cdb_size_series.append((next_sample, len(self.table)))
+                series.append((next_sample, len(self.table)))
                 next_sample += sample_interval
         if trace.packets:
             final = trace.packets[-1].timestamp
             self.finish(final)
-            series = self.stats.cdb_size_series
             if series and series[-1][0] == final:
                 # The in-loop sampler already emitted a sample at exactly
                 # the final timestamp; replace it (the drain above may have

@@ -1,0 +1,510 @@
+"""Per-shard pipeline: one flow-table partition driven as a unit.
+
+PR 2 sharded the flow table but kept one fused engine driving every
+shard, so sharding bought isolation and nothing else. This module is
+the other half of that cut: a :class:`ShardPipeline` owns one
+:class:`~repro.engine.flow_table.FlowShard` (pending buffers + CDB
+partition) together with the per-shard instances of every stage that
+only ever touches one shard's state — the
+:class:`~repro.engine.deadlines.DeadlineWheel`, the
+:class:`~repro.engine.batcher.FoldBatcher`, and the
+:class:`~repro.engine.batcher.MicroBatcher` — behind a narrow surface
+(:meth:`ingest` / :meth:`poll_due` / :meth:`flush` / :meth:`apply`)
+with **no references to global engine state**.
+
+The split is exactly along the read/write sets of the staged engine:
+
+* everything from CDB lookup through window freezing writes only
+  shard-local structures, so it lives here and can run on a per-shard
+  worker with no locks;
+* classification itself (extractor ``finalize`` + vectorized predict)
+  reads frozen windows from *many* shards, so the pipeline never
+  classifies — it emits :class:`~repro.engine.batcher.ReadyFlow`\\ s
+  and the owning runtime hands back labels through :meth:`apply`;
+* sink fan-out and metrics scraping are coordinator concerns: the
+  pipeline appends forwardable packets to :attr:`outbox` and keeps its
+  counters in a plain :class:`~repro.engine.types.EngineStats`, merged
+  at scrape time (see ``MetricsRegistry.child``).
+
+``stats`` fields used here: ``cdb_hits``, ``classifications``,
+``unclassifiable``, ``fin_removals``, ``reclassifications``,
+``per_class``. The packet/byte dispatch counters stay with the facade
+(it sees every packet before routing).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+from repro.core.headers import skip_threshold, strip_app_header
+from repro.engine.batcher import FoldBatcher, MicroBatcher, ReadyFlow
+from repro.engine.deadlines import DeadlineWheel
+from repro.engine.flow_table import FlowShard
+from repro.engine.types import ClassifiedFlow, EngineStats, PendingFlow
+
+__all__ = ["IngestResult", "ShardPipeline", "WindowPolicy"]
+
+#: Wall-clock-sample every Nth scalar fold when telemetry is on: two
+#: ``perf_counter`` calls per packet cost as much as the array fold
+#: itself at small payloads, so the fold timer samples 1-in-N and scales
+#: the measurement up (fold *counts* stay exact). The first fold is
+#: always sampled.
+FOLD_TIMER_SAMPLE_EVERY = 64
+
+
+class IngestResult:
+    """What one packet did to its shard.
+
+    ``label`` is the flow's known label (CDB hit) or None; ``ready`` is
+    whatever batch the packet drained (empty when nothing classifies
+    yet); ``urgent`` means a FIN/RST forced the drain and the runtime
+    should flush *every* shard's queue into one classify call — the
+    close semantics of the fused engine, where a single batcher held
+    all shards' ready flows.
+    """
+
+    __slots__ = ("label", "ready", "urgent")
+
+    def __init__(self, label=None, ready=(), urgent=False) -> None:
+        self.label = label
+        self.ready = ready
+        self.urgent = urgent
+
+
+class WindowPolicy:
+    """Freezes a pending flow's classification window.
+
+    Pure classify-side configuration (header stripping/skipping, the
+    random-skip defense, the usability bound), shared by every shard of
+    an engine: the random-skip draws come from the engine's one RNG in
+    readiness order, which is what keeps the staged engine's draws
+    aligned with the monolith's.
+    """
+
+    __slots__ = ("extractor", "config", "min_window", "rng")
+
+    def __init__(self, extractor, config, min_window: int, rng) -> None:
+        self.extractor = extractor
+        self.config = config
+        self.min_window = min_window
+        self.rng = rng
+
+    def classification_window(self, raw: bytes) -> "tuple[bytes, str | None]":
+        """Apply header stripping/skipping; returns (window, protocol)."""
+        config = self.config
+        protocol = None
+        window = raw
+        min_window = self.min_window
+        if config.random_skip_max:
+            # Section 4.6 defense: examine bytes at an unpredictable offset
+            # so adversarial padding at the flow head is skipped over.
+            skip = int(self.rng.integers(0, config.random_skip_max + 1))
+            skipped = skip_threshold(raw, skip)
+            if len(skipped) >= min_window:
+                window = skipped
+        if config.strip_known_headers:
+            protocol, window = strip_app_header(window)
+        if protocol is None and config.header_threshold:
+            thresholded = skip_threshold(window, config.header_threshold)
+            if len(thresholded) >= min_window:
+                window = thresholded
+            # else: short flow — skipping T would leave nothing usable;
+            # keep the unskipped bytes rather than dropping the flow.
+        return window[: config.buffer_size], protocol
+
+    @property
+    def target_bytes(self) -> int:
+        """Raw payload bytes to buffer before classifying."""
+        return (
+            self.config.buffer_size
+            + self.config.header_threshold
+            + self.config.random_skip_max
+        )
+
+
+class ShardPipeline:
+    """One shard's ingest→buffer→fold→ready pipeline.
+
+    Owns the shard's pending dict and CDB partition (via ``shard``),
+    its deadline wheel, micro-batcher, and fold batcher. Never
+    classifies: ready flows leave through the return values of
+    :meth:`ingest` / :meth:`poll_due` / :meth:`flush` /
+    :meth:`final_drain`, and labels come back through :meth:`apply`.
+
+    ``freeze_on_ready`` (set by thread runtimes) folds a streaming
+    flow's deferred chunks the moment it becomes ready and ignores
+    later ones, so the window handed across threads is immutable; the
+    serial runtime leaves it off and keeps the monolith's exact
+    fold-at-classify cadence.
+    """
+
+    def __init__(
+        self,
+        shard: FlowShard,
+        *,
+        extractor,
+        policy: WindowPolicy,
+        max_batch: int,
+        max_delay: float,
+        fold_batch: int,
+        buffer_timeout: float,
+        reclassify_interval: float,
+        next_seq,
+    ) -> None:
+        self.shard = shard
+        self.index = shard.index
+        self.extractor = extractor
+        self.policy = policy
+        self.buffer_timeout = buffer_timeout
+        self.reclassify_interval = reclassify_interval
+        self._next_seq = next_seq
+        self.wheel = DeadlineWheel()
+        self.batcher = MicroBatcher(max_batch=max_batch, max_delay=max_delay)
+        self.fold_batcher = FoldBatcher(fold_batch)
+        # Fold-batching stage: streaming extractors (no payload retained,
+        # state only read at classify drains) may defer per-packet folds
+        # and absorb a whole tick's chunks in one vectorized fold_batch
+        # call. The batch extractor folds immediately — its raw window is
+        # re-read at readiness, so its state must always be current.
+        # fold_batch=1 opts back into fold-at-arrival.
+        self._defer_folds = not extractor.retains_payload and fold_batch != 1
+        # With no size trigger (fold_batch=0) every fold happens at a
+        # drain, which can find its flows through the pending dict — the
+        # per-packet batcher registration would be pure overhead, so it
+        # is skipped entirely in that mode.
+        self._fold_on_classify = self._defer_folds and fold_batch == 0
+        self.freeze_on_ready = False
+        self.stats = EngineStats()
+        #: (label, packet) pairs awaiting sink fan-out — the runtime
+        #: drains this after every call; plain list appends keep the
+        #: fill path lock-free.
+        self.outbox: list = []
+        self._time_folds = False
+        self._fold_seconds = 0.0
+        self._fold_calls = 0
+        self._fold_countdown = 0
+
+    # -- telemetry -----------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Bind this shard's stage instruments on a (child) registry.
+
+        The wheel's instruments land on the given registry — typically a
+        ``MetricsRegistry.child()`` of the engine's, so per-shard fills
+        stay single-writer and the parent sums them at scrape time. The
+        micro-/fold-batcher instruments are bound by the engine instead:
+        runtimes may swap in shared instances (the serial runtime
+        installs one global batcher across every shard), and only the
+        engine sees the post-bind identity. Counter-shaped stats stay
+        plain ints on :attr:`stats` and are levelled by the engine's
+        collector.
+        """
+        self.wheel.bind_metrics(registry)
+        self._time_folds = True
+
+    @property
+    def fold_seconds(self) -> float:
+        """Cumulative sampled wall-clock seconds spent folding."""
+        return self._fold_seconds
+
+    @property
+    def fold_calls(self) -> int:
+        """Payload chunks folded into per-flow feature state."""
+        return self._fold_calls
+
+    # -- fold stage ----------------------------------------------------------
+
+    def _fold_one(self, state, payload) -> None:
+        """Fold one chunk immediately, with 1-in-N sampled wall-clock."""
+        if not self._time_folds:
+            self.extractor.fold(state, payload)
+            return
+        self._fold_calls += 1
+        self._fold_countdown -= 1
+        if self._fold_countdown < 0:
+            self._fold_countdown = FOLD_TIMER_SAMPLE_EVERY - 1
+            fold_start = perf_counter()
+            self.extractor.fold(state, payload)
+            self._fold_seconds += (
+                perf_counter() - fold_start
+            ) * FOLD_TIMER_SAMPLE_EVERY
+        else:
+            self.extractor.fold(state, payload)
+
+    def _fold_pending(self, flows: list) -> None:
+        """Fold the deferred chunks of ``flows`` in one ``fold_batch`` call."""
+        if not flows:
+            return
+        states = [pending.state for pending in flows]
+        chunk_lists = [pending.unfolded for pending in flows]
+        if self._time_folds:
+            fold_start = perf_counter()
+            self.extractor.fold_batch(states, chunk_lists)
+            self._fold_seconds += perf_counter() - fold_start
+            chunks = sum(len(chunk_list) for chunk_list in chunk_lists)
+            self._fold_calls += chunks
+            self.fold_batcher.observe_drain(chunks)
+        else:
+            self.extractor.fold_batch(states, chunk_lists)
+        for pending in flows:
+            pending.unfolded = []
+
+    def fold_for(self, batch: "list[ReadyFlow]", pending_of=None) -> None:
+        """Fold the deferred chunks of a batch about to be finalized.
+
+        The serial runtime calls this once per classify batch — which
+        may span shards, hence ``pending_of``, a cross-shard flow-id →
+        pending resolver (defaults to this shard's own dict) — so the
+        whole batch folds in one vectorized call, the monolith's exact
+        cadence. Thread runtimes never call it: their flows fold at
+        :meth:`make_ready` (``freeze_on_ready``), before crossing
+        threads.
+        """
+        if self._fold_on_classify:
+            pending_get = (
+                pending_of if pending_of is not None else self.shard.pending.get
+            )
+            self._fold_pending(
+                [
+                    pending
+                    for ready in batch
+                    if (pending := pending_get(ready.flow_id)) is not None
+                    and pending.unfolded
+                ]
+            )
+        elif self._defer_folds and len(self.fold_batcher):
+            # Size-triggered mode: fold just the flows being finalized;
+            # others' chunks stay queued, accumulating toward a
+            # full-size fold batch instead of draining early.
+            self._fold_pending(
+                self.fold_batcher.take(ready.flow_id for ready in batch)
+            )
+
+    # -- readiness -----------------------------------------------------------
+
+    def _freeze(self, flow_id: bytes, pending: PendingFlow):
+        """Freeze the flow's window; None when too short to classify."""
+        if self.extractor.retains_payload:
+            window, protocol = self.policy.classification_window(
+                self.extractor.raw_window(pending.state)
+            )
+            if len(window) < self.policy.min_window:
+                return None
+            return window, protocol
+        if self.freeze_on_ready and pending.unfolded:
+            # Thread runtimes: absorb the deferred chunks now so the
+            # state object crossing to the coordinator stops mutating.
+            if not self._fold_on_classify:
+                self.fold_batcher.take([flow_id])
+            self._fold_pending([pending])
+        folded = self.extractor.folded_bytes(pending.state)
+        if pending.unfolded:
+            # Deferred chunks count toward readiness: by the time the
+            # state is read (classify drain), they will have folded,
+            # up to the extractor's window cap.
+            folded = min(
+                folded + sum(len(chunk) for chunk in pending.unfolded),
+                self.extractor.buffer_size,
+            )
+        if folded < self.policy.min_window:
+            return None
+        return pending.state, None
+
+    def make_ready(
+        self, flow_id: bytes, pending: PendingFlow, now: float, force: bool
+    ) -> "list[ReadyFlow]":
+        """Freeze a flow's window and hand it to the shard's batcher.
+
+        Too-short windows are dropped as unclassifiable on the spot
+        (the window cannot improve: readiness means the buffer is full,
+        the flow closed, or its deadline expired). Returns whatever the
+        push drained — non-empty when the size trigger fired or
+        ``force`` flushed the queue (FIN/RST needs the label *now*).
+        """
+        frozen = self._freeze(flow_id, pending)
+        if frozen is None:
+            self.stats.unclassifiable += 1
+            if self._defer_folds:
+                self.fold_batcher.discard(flow_id)
+            self.shard.pending.pop(flow_id, None)
+            self.wheel.cancel(flow_id)
+            return []
+        window, protocol = frozen
+        pending.queued = True
+        self.wheel.cancel(flow_id)
+        batch = self.batcher.push(
+            ReadyFlow(
+                flow_id=flow_id,
+                window=window,
+                protocol=protocol,
+                seq=pending.seq,
+                first_arrival=pending.first_arrival,
+                shard=self.index,
+            ),
+            now,
+        )
+        if force and batch is None:
+            batch = self.batcher.drain(reason="close")
+        return batch if batch else []
+
+    def drain(self, reason: str = "manual") -> "list[ReadyFlow]":
+        """Flush the micro-batch; the caller folds before finalizing."""
+        return self.batcher.drain(reason=reason)
+
+    def poll_due(self, now: float) -> "list[ReadyFlow]":
+        """Drain the micro-batch iff its latency bound has elapsed."""
+        if self.batcher.due(now):
+            return self.drain(reason="delay")
+        return []
+
+    def pop_expired(self, now: float) -> "list[tuple[bytes, PendingFlow]]":
+        """Pending flows whose buffer-timeout deadline has passed."""
+        pending_get = self.shard.pending.get
+        return [
+            (flow_id, pending)
+            for flow_id in self.wheel.pop_expired(now)
+            if (pending := pending_get(flow_id)) is not None
+        ]
+
+    # -- packet path ---------------------------------------------------------
+
+    def ingest(
+        self, packet, key, flow_id: bytes, now: float, is_close: bool
+    ) -> IngestResult:
+        """Run one packet of this shard through lookup/buffer/fold/ready."""
+        shard = self.shard
+        record = shard.cdb.record_of(flow_id)
+        if record is not None and (
+            self.reclassify_interval
+            and record.age(now) > self.reclassify_interval
+        ):
+            # Section 4.6 defense: long-lived flows are periodically
+            # re-examined, so padding only defrauds the first interval.
+            shard.cdb.remove(flow_id, reason="reclassified")
+            self.stats.reclassifications += 1
+            record = None
+        if record is not None:
+            label = record.label
+            self.stats.cdb_hits += 1
+            shard.cdb.touch(flow_id, now)
+            if packet.payload:
+                self.outbox.append((label, packet))
+            if is_close:
+                shard.cdb.remove(flow_id, reason="fin")
+                self.stats.fin_removals += 1
+            return IngestResult(label=label)
+
+        pending = shard.pending.get(flow_id)
+        if pending is None:
+            pending = PendingFlow(
+                key=key,
+                seq=self._next_seq(),
+                state=self.extractor.new_state(),
+                first_arrival=now,
+                last_arrival=now,
+            )
+            shard.pending[flow_id] = pending
+        pending.last_arrival = now
+        if packet.payload:
+            prior_raw = pending.raw_bytes
+            pending.raw_bytes = prior_raw + len(packet.payload)
+            if pending.queued and self.freeze_on_ready:
+                # Window already frozen for a cross-thread classify;
+                # count the bytes and keep the packet for forwarding,
+                # but never mutate the handed-off state.
+                pass
+            elif self._defer_folds:
+                # Chunks fold in arrival order and each fold caps at the
+                # extractor window, so once the bytes *before* this chunk
+                # already cover the window its fold is provably a no-op —
+                # skip the queue (and the eventual fold) entirely.
+                if prior_raw < self.extractor.buffer_size:
+                    pending.unfolded.append(packet.payload)
+                    if not self._fold_on_classify and self.fold_batcher.push(
+                        flow_id, pending
+                    ):
+                        self._fold_pending(self.fold_batcher.drain())
+            else:
+                self._fold_one(pending.state, packet.payload)
+            pending.packets.append(packet)
+
+        if pending.queued:
+            # Window already with the batcher; a close needs the label now.
+            if is_close:
+                pending.closed = True
+                return IngestResult(ready=self.drain(reason="close"), urgent=True)
+            return IngestResult()
+        self.wheel.schedule(flow_id, now + self.buffer_timeout)
+        if pending.raw_bytes >= self.policy.target_bytes or is_close:
+            # Buffer full — or the flow is over; classify whatever
+            # arrived (or give up).
+            if is_close:
+                pending.closed = True
+            ready = self.make_ready(flow_id, pending, now, force=is_close)
+            # An unclassifiable close drops the flow without touching the
+            # queue (ready empty), so nothing is urgent about it.
+            return IngestResult(ready=ready, urgent=is_close and bool(ready))
+        return IngestResult()
+
+    # -- label application ---------------------------------------------------
+
+    def apply(
+        self, ready: ReadyFlow, label, now: float
+    ) -> "tuple[ClassifiedFlow, list] | None":
+        """Store a classified flow's label; single writer of shard state.
+
+        Pops the pending entry, inserts the CDB record (retiring it at
+        once for flows that closed before their label), and returns the
+        outcome plus the buffered packets for the runtime to fan out to
+        sinks. The shard-global purge trigger stays with the caller —
+        it spans shards by design.
+        """
+        flow_id = ready.flow_id
+        pending = self.shard.pending.pop(flow_id, None)
+        if pending is None:
+            return None
+        self.shard.cdb.insert(flow_id, label, now)
+        self.stats.classifications += 1
+        self.stats.per_class[label] += 1
+        outcome = ClassifiedFlow(
+            key=pending.key,
+            label=label,
+            classified_at=now,
+            buffering_delay=now - pending.first_arrival,
+            buffered_bytes=pending.raw_bytes,
+            stripped_protocol=ready.protocol,
+        )
+        if pending.closed:
+            self.shard.cdb.remove(flow_id, reason="fin")
+            self.stats.fin_removals += 1
+        return outcome, pending.packets
+
+    # -- shard-local flush/finish (thread-runtime entry points) ---------------
+
+    def flush(self, now: float) -> "list[ReadyFlow]":
+        """Shard-local timeout flush; returns everything now ready.
+
+        Thread runtimes run this on the shard's worker. The serial
+        runtime instead merges expirations across shards in global
+        ``seq`` order (the facade's ``flush_timeouts``), which is what
+        exact monolith equivalence requires.
+        """
+        out = self.poll_due(now)
+        expired = self.pop_expired(now)
+        expired.sort(key=lambda item: item[1].seq)
+        for flow_id, pending in expired:
+            out.extend(self.make_ready(flow_id, pending, now, force=False))
+        out.extend(self.drain(reason="timeout"))
+        return out
+
+    def final_drain(self, now: float) -> "list[ReadyFlow]":
+        """End of stream for this shard: everything pending becomes ready."""
+        out = self.drain(reason="final")
+        items = sorted(
+            self.shard.pending.items(), key=lambda item: item[1].seq
+        )
+        for flow_id, pending in items:
+            if not pending.queued:
+                out.extend(self.make_ready(flow_id, pending, now, force=False))
+        out.extend(self.drain(reason="final"))
+        return out

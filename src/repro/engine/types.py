@@ -34,6 +34,9 @@ class PendingFlow:
     ``queued`` marks a flow whose classification window has been handed to
     the micro-batcher; late packets still append to ``packets`` so they
     are forwarded once the batch drains, but the flow is not re-enqueued.
+    ``closed`` marks a flow whose FIN/RST arrived before its label: the
+    classify stage inserts the label and immediately retires the CDB
+    record (the monolith's remove-after-classify close path).
 
     ``unfolded`` holds payload chunks queued for the engine's
     fold-batching stage (streaming extractors only): arriving payload is
@@ -50,6 +53,7 @@ class PendingFlow:
     first_arrival: float = 0.0
     last_arrival: float = 0.0
     queued: bool = False
+    closed: bool = False
     unfolded: "list[bytes | memoryview]" = field(default_factory=list)
 
 

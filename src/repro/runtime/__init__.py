@@ -1,0 +1,53 @@
+"""Execution runtimes: how an engine's shard pipelines are driven.
+
+The staged engine's state was split along shard boundaries
+(:class:`repro.engine.shard.ShardPipeline`); a *runtime* decides who
+executes each pipeline and when:
+
+* :class:`SerialRuntime` (default) drives every shard inline on the
+  calling thread, in arrival order — packet-for-packet equivalent to
+  the fused engine (proven by the staged-equivalence suite);
+* :class:`ThreadRuntime` pins shards to worker threads (bounded
+  per-worker ingress queues provide backpressure) and merges their
+  ``ReadyFlow`` drains on a coordinator into cross-shard classify
+  batches, so the batched finalize/predict kernels — which release the
+  GIL inside numpy — keep their 30-80x win.
+
+Select one with ``EngineConfig(runtime="serial" | "thread")``, or plug
+in your own: any callable ``(engine_config) -> Runtime`` is accepted
+as the ``runtime`` field, and :data:`RUNTIMES` maps the built-in names.
+"""
+
+from repro.runtime.base import Runtime
+from repro.runtime.serial import SerialRuntime
+from repro.runtime.threaded import ThreadRuntime
+
+__all__ = ["RUNTIMES", "Runtime", "SerialRuntime", "ThreadRuntime", "make_runtime"]
+
+#: Built-in runtime names accepted by ``EngineConfig.runtime``.
+RUNTIMES = {
+    "serial": lambda config: SerialRuntime(),
+    "thread": lambda config: ThreadRuntime(
+        num_workers=config.num_workers, queue_depth=config.queue_depth
+    ),
+}
+
+
+def make_runtime(engine_config) -> Runtime:
+    """Resolve an ``EngineConfig.runtime`` spec to a runtime instance."""
+    spec = engine_config.runtime
+    if isinstance(spec, str):
+        try:
+            factory = RUNTIMES[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown runtime {spec!r}; expected one of "
+                f"{', '.join(sorted(RUNTIMES))}"
+            ) from None
+        return factory(engine_config)
+    if callable(spec):
+        return spec(engine_config)
+    raise TypeError(
+        "runtime must be a registry name or a factory callable, "
+        f"got {type(spec).__name__}"
+    )

@@ -60,27 +60,69 @@ class TestEngineConfig:
             config.max_batch = 64
 
 
-class TestLegacyKwargShim:
-    def test_legacy_kwargs_warn_and_work(self, trained_svm):
-        with pytest.warns(DeprecationWarning, match="max_batch"):
-            engine = StagedEngine(trained_svm, max_batch=4, max_delay=0.1)
-        assert engine.engine_config.max_batch == 4
-        assert engine.engine_config.max_delay == 0.1
+class TestRuntimeKnobs:
+    """The runtime/num_workers/queue_depth fields validate eagerly."""
 
-    def test_legacy_num_shards_warns(self, trained_svm):
-        with pytest.warns(DeprecationWarning, match="num_shards"):
-            engine = StagedEngine(trained_svm, num_shards=2)
-        assert engine.table.num_shards == 2
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.runtime == "serial"
+        assert config.num_workers == 0
+        assert config.queue_depth == 1024
 
-    def test_bare_pipeline_config_does_not_warn(self, trained_svm):
+    def test_known_names_accepted(self):
+        assert EngineConfig(runtime="thread").runtime == "thread"
+
+    def test_unknown_runtime_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown runtime 'fiber'"):
+            EngineConfig(runtime="fiber")
+
+    def test_non_callable_runtime_rejected(self):
+        with pytest.raises(TypeError, match="factory callable"):
+            EngineConfig(runtime=42)
+
+    def test_factory_callable_accepted(self):
+        factory = lambda engine_config: None  # noqa: E731
+        assert EngineConfig(runtime=factory).runtime is factory
+
+    def test_worker_and_queue_bounds(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            EngineConfig(num_workers=-1)
+        with pytest.raises(ValueError, match="queue_depth"):
+            EngineConfig(queue_depth=0)
+        assert EngineConfig(num_workers=4, queue_depth=1).queue_depth == 1
+
+    def test_runtime_knobs_are_frozen(self):
+        config = EngineConfig(runtime="thread")
+        with pytest.raises(AttributeError):
+            config.runtime = "serial"
+        with pytest.raises(AttributeError):
+            config.num_workers = 8
+
+
+class TestLegacyKwargRemoval:
+    """The deprecated kwargs are now hard errors (one release of warning)."""
+
+    def test_legacy_kwargs_raise_type_error(self, trained_svm):
+        with pytest.raises(TypeError, match="max_batch, max_delay"):
+            StagedEngine(trained_svm, max_batch=4, max_delay=0.1)
+
+    def test_legacy_num_shards_raises(self, trained_svm):
+        with pytest.raises(TypeError, match="num_shards"):
+            StagedEngine(trained_svm, num_shards=2)
+
+    def test_error_points_at_engine_config(self, trained_svm):
+        with pytest.raises(TypeError, match="EngineConfig"):
+            StagedEngine(trained_svm, max_batch=4)
+
+    def test_bare_pipeline_config_still_accepted(self, trained_svm):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             engine = StagedEngine(trained_svm, IustitiaConfig(buffer_size=32))
         assert engine.engine_config.max_batch == 32  # EngineConfig default
 
-    def test_engine_config_does_not_warn(self, trained_svm):
+    def test_engine_config_is_the_way(self, trained_svm):
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             engine = StagedEngine(trained_svm, EngineConfig(max_batch=4))
         assert engine.engine_config.max_batch == 4
 
@@ -92,5 +134,5 @@ class TestLegacyKwargShim:
         from repro.core.pipeline import IustitiaEngine
 
         with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
+            warnings.simplefilter("error")
             IustitiaEngine(trained_svm)

@@ -1,6 +1,9 @@
 """Tests for the deadline wheel (O(expired) timeout flushing)."""
 
+from repro.core.config import EngineConfig, IustitiaConfig
+from repro.engine import StagedEngine
 from repro.engine.deadlines import DeadlineWheel
+from repro.net.packet import Ipv4Header, Packet, UdpHeader
 
 
 def _fid(i: int) -> bytes:
@@ -51,6 +54,85 @@ class TestScheduling:
         assert wheel.pop_expired(2.0) == [_fid(1)]
         assert wheel.pop_expired(2.0) == []
         assert _fid(1) not in wheel
+
+
+class TestEdgeCases:
+    def test_stale_rearm_after_cancel_fires_once_at_new_deadline(self):
+        # Reclassification re-arms a flow that was cancelled (classified)
+        # earlier: the lazily-abandoned heap entry from the first life
+        # must not make the flow expire at the OLD deadline, and the new
+        # deadline must fire exactly once.
+        wheel = DeadlineWheel()
+        wheel.schedule(_fid(1), 5.0)
+        wheel.cancel(_fid(1))          # flow classified; leaves heap entry
+        wheel.schedule(_fid(1), 8.0)   # reclassify window re-buffers it
+        assert wheel.pop_expired(6.0) == []      # stale 5.0 entry discarded
+        assert _fid(1) in wheel
+        assert wheel.deadline_of(_fid(1)) == 8.0
+        assert wheel.pop_expired(9.0) == [_fid(1)]
+        assert wheel.pop_expired(9.0) == []      # fired once, not twice
+
+    def test_duplicate_deadlines_pop_in_schedule_order(self):
+        # Several flows arming at the same timestamp (one classify tick
+        # touching a whole batch) share a deadline; ties must resolve by
+        # schedule order, not flow-id bytes, so flush order stays stable.
+        wheel = DeadlineWheel()
+        order = [7, 3, 9, 1, 5]
+        for i in order:
+            wheel.schedule(_fid(i), 4.0)
+        assert wheel.pop_expired(4.5) == [_fid(i) for i in order]
+
+    def test_rearm_at_identical_deadline_keeps_position_fires_once(self):
+        # Staleness is detected by deadline VALUE, so re-arming a flow at
+        # its unchanged deadline keeps the original tie-break position —
+        # and the duplicate heap entry must not make it fire twice.
+        wheel = DeadlineWheel()
+        wheel.schedule(_fid(1), 4.0)
+        wheel.schedule(_fid(2), 4.0)
+        wheel.schedule(_fid(1), 4.0)  # re-arm at the SAME deadline
+        assert wheel.pop_expired(4.5) == [_fid(1), _fid(2)]
+        assert wheel.pop_expired(4.5) == []
+        assert len(wheel) == 0
+
+
+class TestMultiShardFlushOrdering:
+    """Engine-level: flows expiring the same tick flush in arrival order.
+
+    Each shard pipeline owns its own wheel, so one engine tick pops
+    expired flows from several heaps; the runtime must merge them back
+    into global arrival (seq) order before classification, matching the
+    monolith's single-wheel behaviour.
+    """
+
+    def _packet(self, payload, timestamp, sport):
+        return Packet(
+            ip=Ipv4Header(src="10.1.1.1", dst="10.2.2.2", protocol=17),
+            transport=UdpHeader(src_port=sport, dst_port=80),
+            payload=payload,
+            timestamp=timestamp,
+        )
+
+    def test_same_tick_expiry_classifies_in_seq_order(self, trained_svm):
+        engine = StagedEngine(
+            trained_svm,
+            EngineConfig(
+                max_batch=64,
+                max_delay=60.0,
+                pipeline=IustitiaConfig(buffer_size=32, buffer_timeout=5.0),
+            ),
+        )
+        sports = [1001, 1002, 1003, 1004, 1005, 1006, 1007, 1008]
+        for i, sport in enumerate(sports):
+            # 24 bytes < buffer_size keeps every flow pending (buffering).
+            engine.process_packet(
+                self._packet(b"the quick brown fox 0124", 0.0 + i * 0.001, sport)
+            )
+        armed_shards = sum(1 for p in engine.pipelines if len(p.wheel))
+        assert armed_shards >= 2, "test needs flows spread across shards"
+        expired = engine.flush_timeouts(now=50.0)
+        assert expired == len(sports)
+        classified_ports = [c.key.src_port for c in engine.stats.classified]
+        assert classified_ports == sports
 
 
 class TestLazyCompaction:

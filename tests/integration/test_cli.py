@@ -125,6 +125,20 @@ class TestTrainAndClassify:
         # windows.
         assert natures["batch"] == natures["incremental"]
 
+    def test_classify_thread_runtime_labels_match_serial(
+        self, artifacts, tmp_path, capsys
+    ):
+        model, pcap, _ = artifacts
+        natures = {}
+        for runtime in ("serial", "thread"):
+            out_json = tmp_path / f"results-{runtime}.json"
+            assert main(["classify", str(model), str(pcap),
+                         "--json", str(out_json),
+                         "--runtime", runtime, "--workers", "4"]) == 0
+            results = json.loads(out_json.read_text())
+            natures[runtime] = {r["flow"]: r["nature"] for r in results}
+        assert natures["serial"] == natures["thread"]
+
     def test_classify_rejects_non_model_file(self, artifacts, tmp_path, capsys):
         _, pcap, _ = artifacts
         bogus = tmp_path / "bogus.json"
@@ -150,3 +164,40 @@ class TestParser:
             }[command]
             namespace = parser.parse_args(args)
             assert callable(namespace.func)
+
+    def test_classify_runtime_flags_parse(self):
+        namespace = build_parser().parse_args(
+            ["classify", "m.json", "x.pcap",
+             "--runtime", "thread", "--workers", "4"]
+        )
+        assert namespace.runtime == "thread"
+        assert namespace.workers == 4
+
+    def test_unknown_runtime_rejected_at_parse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["classify", "m.json", "x.pcap", "--runtime", "fiber"]
+            )
+
+
+class TestConsoleEntryPoint:
+    """The installed ``iustitia`` script and ``python -m repro`` agree."""
+
+    def test_pyproject_declares_iustitia_script(self):
+        import pathlib
+        import tomllib
+
+        pyproject = pathlib.Path(__file__).parents[2] / "pyproject.toml"
+        data = tomllib.loads(pyproject.read_text())
+        assert data["project"]["scripts"]["iustitia"] == "repro.cli:main"
+
+    def test_entry_point_and_dunder_main_share_one_main(self):
+        # Both launchers must route through the same callable, so flag
+        # behaviour can never diverge between `iustitia` and
+        # `python -m repro`.
+        import importlib
+
+        import repro.cli
+
+        dunder_main = importlib.import_module("repro.__main__")
+        assert dunder_main.main is repro.cli.main

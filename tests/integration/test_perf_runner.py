@@ -24,6 +24,7 @@ def test_run_perf_tiny_writes_json(tmp_path):
     out = tmp_path / "bench.json"
     engine_out = tmp_path / "bench_engine.json"
     state_out = tmp_path / "bench_state.json"
+    parallel_out = tmp_path / "bench_parallel.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
@@ -39,6 +40,8 @@ def test_run_perf_tiny_writes_json(tmp_path):
             str(engine_out),
             "--state-out",
             str(state_out),
+            "--parallel-out",
+            str(parallel_out),
         ],
         capture_output=True,
         text=True,
@@ -107,3 +110,23 @@ def test_run_perf_tiny_writes_json(tmp_path):
         assert fold["runs"][extractor]["seconds"] > 0
         assert fold["runs"][extractor]["packets_per_s"] > 0
     assert fold["incremental_vs_buffered"] > 0
+
+    # Runtime sweep payload (BENCH_parallel.json): serial vs thread
+    # runtime, per-flow labels validated identical in-runner before
+    # timing. No ratio threshold — at tiny scale queue overhead
+    # dominates and honest numbers can land well below 1.0x.
+    parallel_results = json.loads(parallel_out.read_text())
+    sweep = parallel_results["runtime_sweep"]
+    assert sweep["labels_identical"] is True
+    assert sweep["serial"]["packets_per_s"] > 0
+    assert sweep["worker_counts"] == [1, 2]
+    for workers in sweep["worker_counts"]:
+        entry = sweep["thread"][str(workers)]
+        assert entry["seconds"] > 0
+        assert entry["packets_per_s"] > 0
+        assert entry["vs_serial"] > 0
+    assert (
+        parallel_results["best_thread_vs_serial"]
+        == max(e["vs_serial"] for e in sweep["thread"].values())
+    )
+    assert str(parallel_results["best_thread_workers"]) in sweep["thread"]

@@ -1,11 +1,14 @@
 """StagedEngine vs the frozen seed monolith: packet-for-packet equivalence.
 
-The refactor's contract (ISSUE 2): ``StagedEngine(max_batch=1)`` — and
-therefore the ``IustitiaEngine`` facade — must reproduce the seed
-engine's labels, per-class counts, counters, and CDB size series on the
-reference synthetic traces. ``max_batch>1`` must preserve every label
-(windows are frozen at readiness), though classification *timestamps*
-may differ by design.
+The refactor's contract (ISSUE 2, extended by ISSUE 7): the staged
+engine under the default :class:`~repro.runtime.SerialRuntime` with
+``max_batch=1`` — and therefore the ``IustitiaEngine`` facade — must
+reproduce the seed engine's labels, per-class counts, counters, and CDB
+size series on the reference synthetic traces, even though the engine's
+state now lives in per-shard pipelines. ``max_batch>1`` must preserve
+every label (windows are frozen at readiness), though classification
+*timestamps* may differ by design. The thread runtime must reproduce
+the serial runtime's per-flow label map (order-free determinism).
 """
 
 import numpy as np
@@ -15,6 +18,7 @@ from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.pipeline import IustitiaEngine
 from repro.engine import QueueSink, StagedEngine, StatsSink
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
+from repro.runtime import SerialRuntime, ThreadRuntime
 
 from ._seed_engine import SeedEngine
 
@@ -169,3 +173,89 @@ class TestBatchedLabelEquivalence:
         staged_stats = staged.process_trace(trace)
         assert _label_map(facade_stats) == _label_map(staged_stats)
         assert facade_stats.cdb_size_series == staged_stats.cdb_size_series
+
+
+class TestSerialRuntimeExplicit:
+    """runtime="serial" is the default — and saying so changes nothing."""
+
+    def test_default_runtime_is_serial(self, trained_svm):
+        engine = StagedEngine(trained_svm)
+        assert isinstance(engine.runtime, SerialRuntime)
+        assert engine.runtime.name == "serial"
+
+    def test_explicit_serial_matches_seed(self, trained_svm, reference_traces):
+        trace = reference_traces["plain"]
+        config = IustitiaConfig(buffer_size=32)
+        seed = SeedEngine(trained_svm, config)
+        staged = StagedEngine(
+            trained_svm,
+            EngineConfig(
+                runtime="serial", max_batch=1, max_delay=0.0, pipeline=config
+            ),
+        )
+        seed_stats = seed.process_trace(trace, sample_interval=1.0)
+        staged_stats = staged.process_trace(trace, sample_interval=1.0)
+        assert _label_map(staged_stats) == _label_map(seed_stats)
+        assert _counter_tuple(staged_stats) == _counter_tuple(seed_stats)
+        assert staged_stats.cdb_size_series == seed_stats.cdb_size_series
+
+    def test_serial_shares_one_batcher_across_shards(self, trained_svm):
+        # The monolith had one micro-batcher; the serial runtime keeps
+        # that by aliasing a single instance into every pipeline, so the
+        # size trigger counts ready flows from all shards together.
+        engine = StagedEngine(trained_svm)
+        batchers = {id(p.batcher) for p in engine.pipelines}
+        folds = {id(p.fold_batcher) for p in engine.pipelines}
+        assert len(batchers) == 1
+        assert len(folds) == 1
+
+
+class TestThreadRuntimeDeterminism:
+    """Thread runtime: same per-flow labels as serial, order-free."""
+
+    @pytest.mark.parametrize("extractor", ["batch", "incremental"])
+    def test_labels_match_serial(
+        self, trained_svm, reference_traces, extractor
+    ):
+        trace = reference_traces["plain"]
+        pipeline = IustitiaConfig(
+            buffer_size=32, strip_known_headers=(extractor == "batch")
+        )
+        base = dict(max_batch=8, extractor=extractor, pipeline=pipeline)
+        serial = StagedEngine(trained_svm, EngineConfig(**base))
+        serial_stats = serial.process_trace(trace)
+        threaded = StagedEngine(
+            trained_svm,
+            EngineConfig(runtime="thread", num_workers=4, **base),
+        )
+        with threaded:
+            threaded_stats = threaded.process_trace(trace)
+        assert _label_map(threaded_stats) == _label_map(serial_stats)
+        assert threaded_stats.per_class == serial_stats.per_class
+        assert threaded_stats.classifications == serial_stats.classifications
+        # CDB lifecycle counters agree too: same inserts, same FIN exits.
+        assert threaded.table.total_inserted == serial.table.total_inserted
+        assert threaded.table.total_removed_fin == serial.table.total_removed_fin
+
+    def test_runtime_object_and_cleanup(self, trained_svm, reference_traces):
+        engine = StagedEngine(
+            trained_svm, EngineConfig(runtime="thread", num_workers=2)
+        )
+        assert isinstance(engine.runtime, ThreadRuntime)
+        assert engine.runtime.name == "thread"
+        engine.process_trace(reference_traces["plain"])
+        engine.close()
+        engine.close()  # idempotent
+        assert engine.runtime._threads == []
+
+    def test_backpressure_queue_depth_one(self, trained_svm, reference_traces):
+        """A 1-deep ingress queue blocks dispatch but never corrupts."""
+        trace = reference_traces["plain"]
+        serial_stats = StagedEngine(trained_svm).process_trace(trace)
+        engine = StagedEngine(
+            trained_svm,
+            EngineConfig(runtime="thread", num_workers=2, queue_depth=1),
+        )
+        with engine:
+            stats = engine.process_trace(trace)
+        assert _label_map(stats) == _label_map(serial_stats)

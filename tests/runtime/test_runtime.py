@@ -1,0 +1,97 @@
+"""Unit tests for the execution-runtime layer (repro.runtime)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.config import EngineConfig, IustitiaConfig
+from repro.engine import StagedEngine
+from repro.runtime import RUNTIMES, SerialRuntime, ThreadRuntime, make_runtime
+
+
+def _spec(runtime, num_workers=0, queue_depth=1024):
+    """A minimal EngineConfig stand-in for make_runtime."""
+    return SimpleNamespace(
+        runtime=runtime, num_workers=num_workers, queue_depth=queue_depth
+    )
+
+
+class TestMakeRuntime:
+    def test_builtin_names_resolve(self):
+        assert isinstance(make_runtime(_spec("serial")), SerialRuntime)
+        assert isinstance(make_runtime(_spec("thread")), ThreadRuntime)
+
+    def test_registry_covers_builtin_names(self):
+        assert set(RUNTIMES) == {"serial", "thread"}
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown runtime 'fiber'"):
+            make_runtime(_spec("fiber"))
+
+    def test_non_callable_spec_raises_type_error(self):
+        with pytest.raises(TypeError, match="registry name or a factory"):
+            make_runtime(_spec(42))
+
+    def test_thread_factory_forwards_config_knobs(self):
+        runtime = make_runtime(_spec("thread", num_workers=3, queue_depth=7))
+        assert runtime.num_workers == 3
+        assert runtime.queue_depth == 7
+
+    def test_custom_factory_callable(self):
+        seen = {}
+
+        def factory(engine_config):
+            seen["config"] = engine_config
+            return SerialRuntime()
+
+        spec = _spec(factory)
+        runtime = make_runtime(spec)
+        assert isinstance(runtime, SerialRuntime)
+        assert seen["config"] is spec
+
+
+class TestEngineIntegration:
+    def test_custom_factory_through_engine_config(self, trained_svm):
+        calls = []
+
+        def factory(engine_config):
+            calls.append(engine_config)
+            return SerialRuntime()
+
+        engine_config = EngineConfig(runtime=factory)
+        engine = StagedEngine(trained_svm, engine_config)
+        assert isinstance(engine.runtime, SerialRuntime)
+        assert calls == [engine_config]
+
+    def test_engine_batcher_view_tracks_runtime_batchers(self, trained_svm):
+        serial = StagedEngine(trained_svm)
+        assert list(serial.batcher._parts) == serial.runtime.batchers()
+        assert len(serial.runtime.batchers()) == 1
+        with StagedEngine(
+            trained_svm, EngineConfig(runtime="thread", num_workers=2)
+        ) as threaded:
+            # The coordinator batcher is the only one that micro-batches;
+            # per-shard pass-throughs are invisible to the stage view.
+            assert list(threaded.batcher._parts) == threaded.runtime.batchers()
+            assert len(threaded.runtime.batchers()) == 1
+
+    def test_thread_runtime_rejects_random_skip(self, trained_svm):
+        config = EngineConfig(
+            runtime="thread",
+            num_workers=2,
+            pipeline=IustitiaConfig(buffer_size=32, random_skip_max=16),
+        )
+        with pytest.raises(ValueError, match="random_skip_max"):
+            StagedEngine(trained_svm, config)
+
+    def test_serial_runtime_close_is_noop(self, trained_svm):
+        engine = StagedEngine(trained_svm)
+        engine.close()
+        engine.close()
+
+    def test_context_manager_closes_thread_runtime(self, trained_svm):
+        with StagedEngine(
+            trained_svm, EngineConfig(runtime="thread", num_workers=2)
+        ) as engine:
+            assert len(engine.runtime._threads) == 2
+        assert engine.runtime._threads == []
