@@ -19,7 +19,8 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
 
 Subpackages: ``repro.core`` (entropy vectors, estimation, classifier,
 CDB, pipeline), ``repro.engine`` (staged online engine),
-``repro.runtime`` (execution runtimes: serial / worker threads),
+``repro.runtime`` (execution runtimes: serial / worker threads /
+worker processes, via a pluggable registry),
 ``repro.obs`` (telemetry), ``repro.ml`` (CART, SVM/SMO/DAGSVM),
 ``repro.streaming`` (AMS / stream-entropy estimation), ``repro.net``
 (packets, flows, pcap, trace generation), ``repro.data`` (synthetic
@@ -57,6 +58,7 @@ from repro.data import Corpus, LabeledFile, build_corpus
 from repro.engine import (
     CallbackSink,
     ClassifiedFlow,
+    EngineClosedError,
     MetricsSink,
     QueueSink,
     ResultSink,
@@ -83,7 +85,7 @@ from repro.obs import (
     validate_text,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BINARY",
@@ -95,6 +97,7 @@ __all__ = [
     "DagSvmClassifier",
     "DecisionTreeClassifier",
     "ENCRYPTED",
+    "EngineClosedError",
     "EngineConfig",
     "EntropyEstimator",
     "EntropyVector",

@@ -120,9 +120,20 @@ def open_engine(
     ``EngineConfig(runtime="thread", num_workers=N)`` executes the shard
     pipelines on worker threads under a classify coordinator instead of
     inline (see :mod:`repro.runtime`); per-flow labels match the serial
-    runtime, outcome *order* does not. Thread-runtime engines own worker
-    threads — use the engine as a context manager or call
-    ``engine.close()`` when done.
+    runtime, outcome *order* does not.
+    ``EngineConfig(runtime="process", num_workers=N)`` replicates whole
+    shard pipelines into shared-nothing worker processes and merges
+    their result frames by global arrival seq — per-flow labels and CDB
+    counters match the serial runtime exactly, and runs are
+    deterministic. Any runtime registered through
+    :func:`repro.runtime.register` can be named the same way.
+
+    The returned engine is a context manager: ``with
+    repro.open_engine(...) as engine:`` guarantees ``runtime.close()``
+    (worker threads/processes released) plus a final flush of every
+    attached sink. ``close()`` is idempotent; processing packets after
+    it — or calling ``finish()`` twice with no packets in between —
+    raises :class:`repro.EngineClosedError`.
     """
     if isinstance(classifier, (str, os.PathLike)):
         classifier = load_model(classifier)

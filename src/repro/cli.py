@@ -10,7 +10,8 @@ Subcommands::
                                    [--labels labels.json] [--json out.json]
                                    [--metrics metrics.prom]
                                    [--extractor batch|incremental]
-                                   [--runtime serial|thread] [--workers N]
+                                   [--runtime serial|thread|process]
+                                   [--workers N]
 
 ``gen-trace`` writes a synthetic gateway trace as a classic pcap plus an
 optional ground-truth label file; ``train`` builds a classifier from a
@@ -40,6 +41,7 @@ from repro.net.pcap import read_pcap, write_pcap
 from repro.net.trace import Trace
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 from repro.obs import render_text
+from repro.runtime import available as available_runtimes
 
 __all__ = ["main"]
 
@@ -124,7 +126,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             EngineConfig(
                 extractor=extractor,
                 runtime=runtime,
-                num_workers=getattr(args, "workers", 0),
+                num_workers=getattr(args, "workers", None),
                 pipeline=pipeline,
             ),
         )
@@ -212,18 +214,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify.add_argument(
         "--runtime",
-        choices=("serial", "thread"),
+        choices=available_runtimes(),
         default="serial",
         help="execution runtime: run every shard pipeline inline "
-        "(serial, default) or pin shards to worker threads under a "
-        "classify coordinator (thread)",
+        "(serial, default), pin shards to worker threads under a "
+        "classify coordinator (thread), or replicate shard pipelines "
+        "into shared-nothing worker processes (process)",
     )
     classify.add_argument(
         "--workers",
         type=int,
-        default=0,
-        help="worker threads for --runtime thread "
-        "(0 = one per shard, capped at CPU count)",
+        default=None,
+        help="workers for --runtime thread/process "
+        "(default: one per shard, capped at CPU count)",
     )
     classify.set_defaults(func=_cmd_classify)
     return parser

@@ -142,12 +142,17 @@ class EngineConfig:
     #: :mod:`repro.runtime`): ``"serial"`` (default) runs every shard
     #: inline, packet-for-packet equivalent to the fused engine;
     #: ``"thread"`` pins shards to worker threads under a classify
-    #: coordinator. A callable ``(engine_config) -> Runtime`` plugs in
-    #: a custom executor.
+    #: coordinator; ``"process"`` replicates shard pipelines into
+    #: shared-nothing worker processes. Any name registered through
+    #: :func:`repro.runtime.register` resolves here, and a callable
+    #: ``(engine_config) -> Runtime`` plugs in a custom executor
+    #: directly.
     runtime: "str | object" = "serial"
-    #: Worker threads for the thread runtime (0 = one per shard, capped
-    #: at the machine's CPU count). Ignored by the serial runtime.
-    num_workers: int = 0
+    #: Workers for the thread/process runtimes (None = one per shard,
+    #: capped at the machine's CPU count). Must be between 1 and
+    #: ``num_shards`` when set — shards are the unit of parallelism.
+    #: Ignored by the serial runtime.
+    num_workers: "int | None" = None
     #: Bound of each worker's ingress queue (packets). A full queue
     #: blocks dispatch — backpressure instead of unbounded buffering.
     #: Ignored by the serial runtime.
@@ -166,22 +171,33 @@ class EngineConfig:
         if self.fold_batch < 0:
             raise ValueError(f"fold_batch must be >= 0, got {self.fold_batch}")
         if isinstance(self.runtime, str):
-            from repro.runtime import RUNTIMES
+            from repro.runtime import available
 
-            if self.runtime not in RUNTIMES:
+            if self.runtime not in available():
                 raise ValueError(
                     f"unknown runtime {self.runtime!r}; expected one of "
-                    f"{', '.join(sorted(RUNTIMES))}"
+                    f"{', '.join(available())} (third-party runtimes must "
+                    "call repro.runtime.register first)"
                 )
         elif not callable(self.runtime):
             raise TypeError(
                 "runtime must be a registry name or a factory callable, "
                 f"got {type(self.runtime).__name__}"
             )
-        if self.num_workers < 0:
-            raise ValueError(
-                f"num_workers must be >= 0, got {self.num_workers}"
-            )
+        if self.num_workers is not None:
+            if self.num_workers < 1:
+                raise ValueError(
+                    f"num_workers must be >= 1 (got {self.num_workers}); "
+                    "leave it None for the default of one worker per "
+                    "shard, capped at the CPU count"
+                )
+            if self.num_workers > self.num_shards:
+                raise ValueError(
+                    f"num_workers={self.num_workers} exceeds "
+                    f"num_shards={self.num_shards}: shards are the unit of "
+                    "parallelism, so the extra workers would sit idle; "
+                    "raise num_shards or lower num_workers"
+                )
         if self.queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be >= 1, got {self.queue_depth}"

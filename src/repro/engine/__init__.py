@@ -35,12 +35,18 @@ from repro.engine.sinks import (
     ResultSink,
     StatsSink,
 )
-from repro.engine.types import ClassifiedFlow, EngineStats, PendingFlow
+from repro.engine.types import (
+    ClassifiedFlow,
+    EngineClosedError,
+    EngineStats,
+    PendingFlow,
+)
 
 __all__ = [
     "CallbackSink",
     "ClassifiedFlow",
     "DeadlineWheel",
+    "EngineClosedError",
     "EngineStats",
     "FlowShard",
     "IngestResult",

@@ -40,7 +40,7 @@ from repro.core.labels import ALL_NATURES, FlowNature
 from repro.engine.flow_table import ShardedFlowTable
 from repro.engine.shard import ShardPipeline, WindowPolicy
 from repro.engine.sinks import DELAY_BUCKETS, MetricsSink, ResultSink, StatsSink
-from repro.engine.types import ClassifiedFlow, EngineStats
+from repro.engine.types import ClassifiedFlow, EngineClosedError, EngineStats
 from repro.net.flow import FlowKey
 from repro.net.hashing import flow_hash
 from repro.net.packet import Packet
@@ -203,6 +203,8 @@ class StagedEngine:
                 self._classified_ref = sink.classified
                 break
         self._inserts_since_purge = 0
+        self._closed = False
+        self._finished = False
         if registry is None and engine_config.telemetry:
             # Adopt an attached MetricsSink's registry so the whole
             # telemetry plane (stage instruments + sink outcomes) lands
@@ -225,8 +227,30 @@ class StagedEngine:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Release the runtime's workers (no-op for the serial runtime)."""
-        self.runtime.close()
+        """Release the runtime's workers and flush the sinks (idempotent).
+
+        After closing, the engine is read-only: counters, metrics, and
+        collected outcomes stay available, but processing more packets
+        raises :class:`~repro.engine.types.EngineClosedError` — worker
+        runtimes have already torn down their threads/processes.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.runtime.close()
+        finally:
+            for sink in self.sinks:
+                flush = getattr(sink, "flush", None)
+                if callable(flush):
+                    flush()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineClosedError(
+                "engine is closed; close() released its runtime workers — "
+                "build a new engine to process more packets"
+            )
 
     def __enter__(self) -> "StagedEngine":
         return self
@@ -516,6 +540,69 @@ class StagedEngine:
             self._inserts_since_purge = 0
             self.runtime.purge(now)
 
+    # -- result-frame merge surface (process-runtime coordinator) --------------
+
+    def mirror_cdb_insert(self, flow_id: bytes, label, now: float) -> None:
+        """Replay a worker's CDB insert into the local replica partition.
+
+        The process runtime's workers own the authoritative CDB
+        partitions and stream insert/remove events back; the coordinator
+        replays them here so ``len(engine.table)``, the Figure-8 size
+        series, and the lifetime counters read identically to the serial
+        runtime. The replay goes straight to the shard's CDB — the
+        table's own insert counter would re-trigger purges that the
+        emission path (:meth:`note_inserts`) already coordinates.
+        """
+        self.table.shard_of(flow_id).cdb.insert(flow_id, label, now)
+
+    def mirror_cdb_remove(self, flow_id: bytes, reason: str) -> None:
+        """Replay a worker's CDB removal, preserving its attribution.
+
+        ``reason`` is ``"fin"``, ``"reclassified"``, or ``"inactive"``
+        (the latter routed through
+        :meth:`~repro.core.cdb.ClassificationDatabase.drop_inactive`,
+        since a replica cannot re-run the staleness scan).
+        """
+        cdb = self.table.shard_of(flow_id).cdb
+        if reason == "inactive":
+            cdb.drop_inactive(flow_id)
+        else:
+            cdb.remove(flow_id, reason=reason)
+
+    def mirror_shard_stats(self, frame) -> None:
+        """Level shard counters from a worker's cumulative stats frame.
+
+        Each frame row is ``(shard_index, cdb_hits, classifications,
+        unclassifiable, fin_removals, reclassifications, per_class,
+        fold_seconds, fold_calls)`` with ``per_class`` ordered by
+        ``ALL_NATURES``. Values are cumulative, so replaying a frame is
+        idempotent and the merged :attr:`stats` / metric collectors see
+        exactly the worker's counters.
+        """
+        for (
+            index,
+            cdb_hits,
+            classifications,
+            unclassifiable,
+            fin_removals,
+            reclassifications,
+            per_class,
+            fold_seconds,
+            fold_calls,
+        ) in frame:
+            pipeline = self.pipelines[index]
+            stats = pipeline.stats
+            stats.cdb_hits = cdb_hits
+            stats.classifications = classifications
+            stats.unclassifiable = unclassifiable
+            stats.fin_removals = fin_removals
+            stats.reclassifications = reclassifications
+            stats.per_class = {
+                nature: per_class[i] for i, nature in enumerate(ALL_NATURES)
+            }
+            pipeline._fold_seconds = fold_seconds
+            pipeline._fold_calls = fold_calls
+
     # -- packet path ----------------------------------------------------------
 
     def process_packet(self, packet: Packet) -> "FlowNature | None":
@@ -524,6 +611,8 @@ class StagedEngine:
         Asynchronous runtimes return None unconditionally — outcomes
         arrive through the sinks.
         """
+        self._ensure_open()
+        self._finished = False
         self._packets += 1
         key = FlowKey.of_packet(packet)
         flow_id = flow_hash(key)
@@ -544,11 +633,25 @@ class StagedEngine:
         live. Returns how many flows were handled (classified or
         dropped); asynchronous runtimes return 0.
         """
+        self._ensure_open()
         return self.runtime.flush(now)
 
     def finish(self, now: float) -> None:
-        """End of stream: drain every batcher and classify every pending flow."""
+        """End of stream: drain every batcher and classify every pending flow.
+
+        Raises :class:`~repro.engine.types.EngineClosedError` when called
+        twice with no packets in between — the stream already drained,
+        and a silent second drain would report an empty run.
+        """
+        self._ensure_open()
+        if self._finished:
+            raise EngineClosedError(
+                "finish() called twice with no packets in between; the "
+                "stream already drained (process more packets to resume, "
+                "or build a new engine)"
+            )
         self.runtime.finish(now)
+        self._finished = True
 
     def process_trace(
         self, trace: Trace, sample_interval: float = 1.0

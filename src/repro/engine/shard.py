@@ -174,6 +174,11 @@ class ShardPipeline:
         # is skipped entirely in that mode.
         self._fold_on_classify = self._defer_folds and fold_batch == 0
         self.freeze_on_ready = False
+        #: Optional ``(flow_id, pending) -> None`` callback fired when a
+        #: too-short flow is dropped as unclassifiable — the process
+        #: runtime journals these so its coordinator can release the
+        #: packets it buffered for the flow.
+        self.on_drop = None
         self.stats = EngineStats()
         #: (label, packet) pairs awaiting sink fan-out — the runtime
         #: drains this after every call; plain list appends keep the
@@ -328,6 +333,8 @@ class ShardPipeline:
                 self.fold_batcher.discard(flow_id)
             self.shard.pending.pop(flow_id, None)
             self.wheel.cancel(flow_id)
+            if self.on_drop is not None:
+                self.on_drop(flow_id, pending)
             return []
         window, protocol = frozen
         pending.queued = True

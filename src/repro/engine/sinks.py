@@ -52,6 +52,9 @@ class ResultSink:
     def on_packet(self, label: FlowNature, packet: Packet) -> None:
         """A payload packet of an already-classified flow was forwarded."""
 
+    def flush(self) -> None:
+        """The owning engine closed; flush any buffered output (no-op)."""
+
 
 @dataclass
 class StatsSink(ResultSink):

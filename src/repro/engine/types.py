@@ -13,7 +13,19 @@ from repro.core.labels import ALL_NATURES, FlowNature
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 
-__all__ = ["ClassifiedFlow", "EngineStats", "PendingFlow"]
+__all__ = ["ClassifiedFlow", "EngineClosedError", "EngineStats", "PendingFlow"]
+
+
+class EngineClosedError(RuntimeError):
+    """The engine's lifecycle no longer permits the attempted call.
+
+    Raised by :class:`~repro.engine.engine.StagedEngine` when packets
+    are processed after :meth:`~repro.engine.engine.StagedEngine.close`
+    (the runtime's workers are gone) or when ``finish()`` is called
+    twice with no intervening packets (the stream already drained —
+    a double drain would re-run end-of-stream work against an empty
+    engine and silently report nothing).
+    """
 
 
 @dataclass

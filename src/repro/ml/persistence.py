@@ -28,6 +28,8 @@ from repro.ml.tree.cart import DecisionTreeClassifier, TreeNode
 
 __all__ = [
     "ModelFormatError",
+    "classifier_from_dict",
+    "classifier_to_dict",
     "load_classifier",
     "load_model",
     "save_classifier",
@@ -289,16 +291,19 @@ def load_model(path):
     return model_from_dict(_read_json(path, "model"))
 
 
-def save_classifier(classifier, path) -> None:
-    """Write a fitted :class:`IustitiaClassifier` (model + config) as JSON.
+def classifier_to_dict(classifier) -> dict:
+    """Serialize a fitted :class:`IustitiaClassifier` to a JSON-able dict.
 
-    The (delta, epsilon) estimator, when present, is recorded by its
-    parameters and rebuilt with a fresh RNG on load.
+    The same payload :func:`save_classifier` writes to disk; the process
+    runtime also ships it (picklable, plain types only) to rebuild the
+    classifier inside worker processes. The (delta, epsilon) estimator,
+    when present, is recorded by its parameters and rebuilt with a
+    fresh RNG on load.
     """
     from repro.core.classifier import IustitiaClassifier
 
     if not isinstance(classifier, IustitiaClassifier):
-        raise TypeError("save_classifier expects an IustitiaClassifier")
+        raise TypeError("classifier_to_dict expects an IustitiaClassifier")
     payload = {
         "format": "repro/iustitia",
         "format_version": _VERSION,
@@ -316,21 +321,33 @@ def save_classifier(classifier, path) -> None:
             "delta": classifier.estimator.delta,
             "buffer_size": classifier.estimator.budget.buffer_size,
         }
+    return payload
+
+
+def save_classifier(classifier, path) -> None:
+    """Write a fitted :class:`IustitiaClassifier` (model + config) as JSON.
+
+    The (delta, epsilon) estimator, when present, is recorded by its
+    parameters and rebuilt with a fresh RNG on load.
+    """
     with open(path, "w") as handle:
-        json.dump(payload, handle)
+        json.dump(classifier_to_dict(classifier), handle)
 
 
-def load_classifier(path):
-    """Load a classifier written by :func:`save_classifier`.
+def classifier_from_dict(payload: dict):
+    """Reconstruct a classifier from :func:`classifier_to_dict` output.
 
-    Raises :class:`ModelFormatError` when the file is truncated, not
-    JSON, or not a supported classifier payload.
+    Raises :class:`ModelFormatError` on an unknown format tag, an
+    unsupported format version, or a payload missing required fields.
     """
     from repro.core.classifier import IustitiaClassifier, TrainingMethod
     from repro.core.estimation import EntropyEstimator
     from repro.core.features import FeatureSet
 
-    payload = _read_json(path, "classifier")
+    if not isinstance(payload, dict):
+        raise ModelFormatError(
+            f"classifier payload is {type(payload).__name__}, expected a dict"
+        )
     if payload.get("format") != "repro/iustitia":
         raise ModelFormatError(
             f"unknown classifier format {payload.get('format')!r}"
@@ -367,3 +384,12 @@ def load_classifier(path):
         ) from exc
     classifier._model = model_from_dict(model_payload)
     return classifier
+
+
+def load_classifier(path):
+    """Load a classifier written by :func:`save_classifier`.
+
+    Raises :class:`ModelFormatError` when the file is truncated, not
+    JSON, or not a supported classifier payload.
+    """
+    return classifier_from_dict(_read_json(path, "classifier"))

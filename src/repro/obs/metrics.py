@@ -455,6 +455,58 @@ class MetricsRegistry:
             ]
             yield name, kind, help_text, instruments
 
+    def dump_state(self) -> list:
+        """Serialize every instrument to plain picklable tuples.
+
+        Made for cross-process telemetry (the process runtime's workers
+        dump their registries on demand): the result carries one entry
+        per family — ``(name, kind, help, buckets, rows)`` with each row
+        ``(labels, data)`` — built from the merged :meth:`families`
+        view, so child-registry instruments are included and pull-based
+        collectors run first. ``data`` is the value for counters/gauges
+        and ``(bucket_counts, sum, count)`` for histograms.
+        """
+        out = []
+        for name, kind, help_text, instruments in self.families():
+            buckets = instruments[0].bounds if kind == "histogram" else None
+            rows = []
+            for inst in instruments:
+                if kind == "histogram":
+                    data = (list(inst._counts), inst._sum, inst._count)
+                else:
+                    data = inst._value
+                rows.append((inst.labels, data))
+            out.append((name, kind, help_text, buckets, rows))
+        return out
+
+    def load_state(self, state: list, skip=()) -> None:
+        """Load a :meth:`dump_state` payload into this registry.
+
+        Instruments are get-or-created locally and **set** to the dumped
+        values (not added), so reloading successive dumps of the same
+        source registry is idempotent — the natural semantics for
+        mirroring a worker's cumulative state at every scrape. Families
+        named in ``skip`` are ignored (the process runtime skips the
+        families its coordinator levels itself).
+        """
+        for name, kind, _help, buckets, rows in state:
+            if name in skip:
+                continue
+            for labels, data in rows:
+                label_kwargs = dict(labels)
+                if kind == "histogram":
+                    inst = self.histogram(
+                        name, buckets=tuple(buckets), **label_kwargs
+                    )
+                    counts, total, count = data
+                    inst._counts = list(counts)
+                    inst._sum = total
+                    inst._count = count
+                elif kind == "gauge":
+                    self.gauge(name, **label_kwargs)._value = data
+                else:
+                    self.counter(name, **label_kwargs)._value = data
+
     def snapshot(self) -> dict:
         """Plain-dict view of every instrument.
 

@@ -11,43 +11,39 @@ executes each pipeline and when:
   per-worker ingress queues provide backpressure) and merges their
   ``ReadyFlow`` drains on a coordinator into cross-shard classify
   batches, so the batched finalize/predict kernels — which release the
-  GIL inside numpy — keep their 30-80x win.
+  GIL inside numpy — keep their 30-80x win;
+* :class:`ProcessRuntime` replicates whole shard pipelines into
+  shared-nothing worker *processes* (pending buffers, CDB partition,
+  deadline wheel, and fold state all live worker-side) and merges
+  compact result frames by global arrival seq, escaping the GIL
+  entirely at the cost of a byte-frame IPC boundary.
 
-Select one with ``EngineConfig(runtime="serial" | "thread")``, or plug
-in your own: any callable ``(engine_config) -> Runtime`` is accepted
-as the ``runtime`` field, and :data:`RUNTIMES` maps the built-in names.
+Selection goes through the **runtime registry**: built-ins register
+themselves on import, :func:`register` adds third-party runtimes with
+no engine edits, :func:`available` lists what this process can run, and
+``EngineConfig(runtime=<name>)`` resolves through :func:`make_runtime`.
+A callable ``(engine_config) -> Runtime`` is also accepted directly as
+the ``runtime`` field. :data:`RUNTIMES` aliases the live registry
+mapping.
 """
 
-from repro.runtime.base import Runtime
+from repro.runtime import base as _base
+from repro.runtime.base import Runtime, available, make_runtime, register
+from repro.runtime.process import ProcessRuntime
 from repro.runtime.serial import SerialRuntime
 from repro.runtime.threaded import ThreadRuntime
 
-__all__ = ["RUNTIMES", "Runtime", "SerialRuntime", "ThreadRuntime", "make_runtime"]
+__all__ = [
+    "RUNTIMES",
+    "ProcessRuntime",
+    "Runtime",
+    "SerialRuntime",
+    "ThreadRuntime",
+    "available",
+    "make_runtime",
+    "register",
+]
 
-#: Built-in runtime names accepted by ``EngineConfig.runtime``.
-RUNTIMES = {
-    "serial": lambda config: SerialRuntime(),
-    "thread": lambda config: ThreadRuntime(
-        num_workers=config.num_workers, queue_depth=config.queue_depth
-    ),
-}
-
-
-def make_runtime(engine_config) -> Runtime:
-    """Resolve an ``EngineConfig.runtime`` spec to a runtime instance."""
-    spec = engine_config.runtime
-    if isinstance(spec, str):
-        try:
-            factory = RUNTIMES[spec]
-        except KeyError:
-            raise ValueError(
-                f"unknown runtime {spec!r}; expected one of "
-                f"{', '.join(sorted(RUNTIMES))}"
-            ) from None
-        return factory(engine_config)
-    if callable(spec):
-        return spec(engine_config)
-    raise TypeError(
-        "runtime must be a registry name or a factory callable, "
-        f"got {type(spec).__name__}"
-    )
+#: Live name → factory registry (importing a runtime module registers
+#: it here; see :func:`repro.runtime.register`).
+RUNTIMES = _base._REGISTRY

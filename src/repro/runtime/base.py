@@ -16,13 +16,75 @@ surface: ``engine.pipelines``, ``engine.classify_apply(batch, now)``
 (serial), ``engine.classify_labels(batch, now)`` +
 ``pipeline.apply(...)`` + ``engine.emit*`` (threaded), and
 ``engine.note_inserts(n, now)`` for the shard-global purge trigger.
+
+This module also hosts the **runtime registry**: runtimes register a
+name → factory pair via :func:`register` (the built-ins register
+themselves on import), ``EngineConfig(runtime=...)`` resolves through
+:func:`make_runtime`, and :func:`available` lists what a given process
+can run — third-party runtimes plug in without engine edits.
 """
 
 from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
-__all__ = ["Runtime"]
+__all__ = ["Runtime", "available", "make_runtime", "register"]
+
+#: name → factory ``(engine_config) -> Runtime``. Mutated only through
+#: :func:`register`; ``repro.runtime.RUNTIMES`` aliases this dict.
+_REGISTRY: dict = {}
+
+
+def register(name: str, factory) -> None:
+    """Register a runtime factory under ``name``.
+
+    ``factory`` is any callable ``(engine_config) -> Runtime``; it
+    receives the full (frozen) ``EngineConfig`` and may read whichever
+    knobs it understands (``num_workers``, ``queue_depth``, ...).
+    Registration is idempotent for the same factory object; a *different*
+    factory under an existing name raises ``ValueError`` — shadowing a
+    runtime silently would change engine behaviour at a distance.
+    """
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"runtime name must be a non-empty string, got {name!r}")
+    if not callable(factory):
+        raise TypeError(
+            f"runtime factory for {name!r} must be callable, "
+            f"got {type(factory).__name__}"
+        )
+    current = _REGISTRY.get(name)
+    if current is not None and current is not factory:
+        raise ValueError(
+            f"runtime {name!r} is already registered; pick another name "
+            "(shadowing a registered runtime is not allowed)"
+        )
+    _REGISTRY[name] = factory
+
+
+def available() -> "tuple[str, ...]":
+    """Registered runtime names, sorted (what ``runtime=...`` accepts)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def make_runtime(engine_config) -> "Runtime":
+    """Resolve an ``EngineConfig.runtime`` spec to a runtime instance."""
+    spec = engine_config.runtime
+    if isinstance(spec, str):
+        try:
+            factory = _REGISTRY[spec]
+        except KeyError:
+            raise ValueError(
+                f"unknown runtime {spec!r}; expected one of "
+                f"{', '.join(available())} (third-party runtimes must call "
+                "repro.runtime.register first)"
+            ) from None
+        return factory(engine_config)
+    if callable(spec):
+        return spec(engine_config)
+    raise TypeError(
+        "runtime must be a registry name or a factory callable, "
+        f"got {type(spec).__name__}"
+    )
 
 
 @runtime_checkable

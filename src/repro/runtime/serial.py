@@ -25,6 +25,7 @@ reproduced exactly:
 from __future__ import annotations
 
 from repro.engine.batcher import FoldBatcher, MicroBatcher
+from repro.runtime.base import register
 
 __all__ = ["SerialRuntime"]
 
@@ -133,3 +134,6 @@ class SerialRuntime:
 
     def close(self) -> None:
         """Nothing to release: execution is inline."""
+
+
+register("serial", lambda config: SerialRuntime())

@@ -41,6 +41,7 @@ import queue
 import threading
 
 from repro.engine.batcher import MicroBatcher
+from repro.runtime.base import register
 
 __all__ = ["ThreadRuntime"]
 
@@ -282,3 +283,11 @@ class ThreadRuntime:
         """Run the CDB inactivity sweep on each shard's own worker."""
         for pipeline in self._engine.pipelines:
             self._worker_for(pipeline.index).put(("purge", pipeline, now))
+
+
+register(
+    "thread",
+    lambda config: ThreadRuntime(
+        num_workers=config.num_workers or 0, queue_depth=config.queue_depth
+    ),
+)

@@ -66,11 +66,12 @@ class TestRuntimeKnobs:
     def test_defaults(self):
         config = EngineConfig()
         assert config.runtime == "serial"
-        assert config.num_workers == 0
+        assert config.num_workers is None
         assert config.queue_depth == 1024
 
     def test_known_names_accepted(self):
         assert EngineConfig(runtime="thread").runtime == "thread"
+        assert EngineConfig(runtime="process").runtime == "process"
 
     def test_unknown_runtime_name_rejected(self):
         with pytest.raises(ValueError, match="unknown runtime 'fiber'"):
@@ -87,9 +88,17 @@ class TestRuntimeKnobs:
     def test_worker_and_queue_bounds(self):
         with pytest.raises(ValueError, match="num_workers"):
             EngineConfig(num_workers=-1)
+        with pytest.raises(ValueError, match="leave it None"):
+            EngineConfig(num_workers=0)
         with pytest.raises(ValueError, match="queue_depth"):
             EngineConfig(queue_depth=0)
         assert EngineConfig(num_workers=4, queue_depth=1).queue_depth == 1
+
+    def test_workers_cannot_exceed_shards(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            EngineConfig(num_workers=5, num_shards=4)
+        # At the boundary: one worker per shard is fine.
+        assert EngineConfig(num_workers=4, num_shards=4).num_workers == 4
 
     def test_runtime_knobs_are_frozen(self):
         config = EngineConfig(runtime="thread")

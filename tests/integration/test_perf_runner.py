@@ -111,22 +111,26 @@ def test_run_perf_tiny_writes_json(tmp_path):
         assert fold["runs"][extractor]["packets_per_s"] > 0
     assert fold["incremental_vs_buffered"] > 0
 
-    # Runtime sweep payload (BENCH_parallel.json): serial vs thread
-    # runtime, per-flow labels validated identical in-runner before
-    # timing. No ratio threshold — at tiny scale queue overhead
-    # dominates and honest numbers can land well below 1.0x.
+    # Runtime sweep payload (BENCH_parallel.json): serial vs thread vs
+    # process runtime, per-flow labels validated identical in-runner
+    # before timing. No ratio threshold — at tiny scale queue/IPC
+    # overhead dominates and honest numbers can land well below 1.0x.
     parallel_results = json.loads(parallel_out.read_text())
     sweep = parallel_results["runtime_sweep"]
     assert sweep["labels_identical"] is True
     assert sweep["serial"]["packets_per_s"] > 0
     assert sweep["worker_counts"] == [1, 2]
-    for workers in sweep["worker_counts"]:
-        entry = sweep["thread"][str(workers)]
-        assert entry["seconds"] > 0
-        assert entry["packets_per_s"] > 0
-        assert entry["vs_serial"] > 0
-    assert (
-        parallel_results["best_thread_vs_serial"]
-        == max(e["vs_serial"] for e in sweep["thread"].values())
-    )
-    assert str(parallel_results["best_thread_workers"]) in sweep["thread"]
+    for runtime in ("thread", "process"):
+        for workers in sweep["worker_counts"]:
+            entry = sweep[runtime][str(workers)]
+            assert entry["seconds"] > 0
+            assert entry["packets_per_s"] > 0
+            assert entry["vs_serial"] > 0
+    for runtime in ("thread", "process"):
+        assert (
+            parallel_results[f"best_{runtime}_vs_serial"]
+            == max(e["vs_serial"] for e in sweep[runtime].values())
+        )
+        assert (
+            str(parallel_results[f"best_{runtime}_workers"]) in sweep[runtime]
+        )

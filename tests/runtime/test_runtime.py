@@ -6,7 +6,15 @@ import pytest
 
 from repro.core.config import EngineConfig, IustitiaConfig
 from repro.engine import StagedEngine
-from repro.runtime import RUNTIMES, SerialRuntime, ThreadRuntime, make_runtime
+from repro.runtime import (
+    RUNTIMES,
+    ProcessRuntime,
+    SerialRuntime,
+    ThreadRuntime,
+    available,
+    make_runtime,
+    register,
+)
 
 
 def _spec(runtime, num_workers=0, queue_depth=1024):
@@ -20,9 +28,11 @@ class TestMakeRuntime:
     def test_builtin_names_resolve(self):
         assert isinstance(make_runtime(_spec("serial")), SerialRuntime)
         assert isinstance(make_runtime(_spec("thread")), ThreadRuntime)
+        assert isinstance(make_runtime(_spec("process")), ProcessRuntime)
 
     def test_registry_covers_builtin_names(self):
-        assert set(RUNTIMES) == {"serial", "thread"}
+        assert set(RUNTIMES) == {"serial", "thread", "process"}
+        assert available() == ("process", "serial", "thread")
 
     def test_unknown_name_raises_value_error(self):
         with pytest.raises(ValueError, match="unknown runtime 'fiber'"):
@@ -48,6 +58,43 @@ class TestMakeRuntime:
         runtime = make_runtime(spec)
         assert isinstance(runtime, SerialRuntime)
         assert seen["config"] is spec
+
+
+class TestRegisterApi:
+    """repro.runtime.register / available — the third-party entry point."""
+
+    def test_registered_name_resolves_and_lists(self):
+        factory = lambda engine_config: SerialRuntime()  # noqa: E731
+        register("fiber", factory)
+        try:
+            assert "fiber" in available()
+            assert isinstance(make_runtime(_spec("fiber")), SerialRuntime)
+            # EngineConfig validation resolves through the same registry.
+            assert EngineConfig(runtime="fiber").runtime == "fiber"
+        finally:
+            RUNTIMES.pop("fiber", None)
+
+    def test_reregister_same_factory_is_idempotent(self):
+        factory = lambda engine_config: SerialRuntime()  # noqa: E731
+        register("fiber", factory)
+        try:
+            register("fiber", factory)
+        finally:
+            RUNTIMES.pop("fiber", None)
+
+    def test_shadowing_a_registered_name_is_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("serial", lambda engine_config: SerialRuntime())
+
+    def test_invalid_name_or_factory_rejected(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            register("", lambda engine_config: SerialRuntime())
+        with pytest.raises(TypeError, match="callable"):
+            register("fiber2", "not-a-factory")
+
+    def test_unknown_name_error_lists_available(self):
+        with pytest.raises(ValueError, match="process, serial, thread"):
+            make_runtime(_spec("fiber"))
 
 
 class TestEngineIntegration:
