@@ -42,6 +42,14 @@ small traces and single-core machines. Process-runtime timings exclude
 engine construction (worker spawn + model hand-off is per-deployment
 setup, not per-trace cost).
 
+A fifth payload, ``BENCH_ingest.json``, compares streaming ingest
+(``process_source`` over a ``PcapFileSource``) against the materialized
+path (``read_pcap`` + ``process_trace``) on the same capture file:
+throughput ratio (reported honestly — the streaming decode does the
+same per-record work, so expect ~1x, not a speedup) and peak traced
+memory, including a decode-only peak at 1x and 2x trace sizes showing
+ingest memory is O(record), not O(capture).
+
 Every speedup is validated for output equivalence before it is timed.
 Seeds are fixed; only the wall-clock numbers vary between machines.
 
@@ -56,7 +64,9 @@ import argparse
 import json
 import platform
 import statistics
+import tempfile
 import time
+import tracemalloc
 from pathlib import Path
 
 import numpy as np
@@ -71,6 +81,8 @@ from repro.data.binarygen import generate_binary_file
 from repro.data.cryptogen import generate_encrypted_file
 from repro.data.textgen import generate_text_file
 from repro.engine import StagedEngine, StatsSink
+from repro.ingest import PcapFileSource
+from repro.net.pcap import iter_pcap, read_pcap, write_pcap
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 from repro.ml.svm.dagsvm import DagSvmClassifier
 from repro.ml.svm.kernels import RbfKernel
@@ -83,6 +95,7 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_hot_path.json"
 DEFAULT_ENGINE_OUT = REPO_ROOT / "BENCH_engine.json"
 DEFAULT_STATE_OUT = REPO_ROOT / "BENCH_state.json"
 DEFAULT_PARALLEL_OUT = REPO_ROOT / "BENCH_parallel.json"
+DEFAULT_INGEST_OUT = REPO_ROOT / "BENCH_ingest.json"
 SEED = 2009
 
 #: The paper's Table-3 per-flow state at b=32 (the "~200 B" claim).
@@ -740,6 +753,139 @@ def bench_parallel(
     }
 
 
+def bench_ingest(
+    n_flows: int,
+    per_class: int,
+    repeat: int,
+    seed: int,
+    buffer_size: int = 32,
+    model: str = "cart",
+) -> dict:
+    """Streaming vs materialized ingest over the same capture file.
+
+    A synthetic gateway trace is written as a classic pcap, then run
+    through the engine twice: materialized (``read_pcap`` into a
+    ``Trace``, then ``process_trace``) and streaming (``process_source``
+    over a ``PcapFileSource``). Label-and-counter equality is asserted
+    before anything is timed. The throughput ratio is honest — both
+    paths decode every record, so streaming buys *memory*, not speed —
+    and the memory section proves it: peak traced bytes for each full
+    run, plus a decode-only peak at 1x and 2x the trace size showing
+    ingest memory does not grow with the capture.
+    """
+    files, labels = labelled_training_files(per_class, 2048, seed)
+    classifier = IustitiaClassifier(model=model, buffer_size=buffer_size)
+    classifier.fit_files(files, labels)
+    pipeline = IustitiaConfig(
+        buffer_size=buffer_size, strip_known_headers=False
+    )
+    config = EngineConfig(
+        extractor="incremental", telemetry=False, pipeline=pipeline
+    )
+
+    def make_pcap(directory: Path, flows: int, tag: str) -> "tuple[Path, int]":
+        trace = generate_gateway_trace(
+            GatewayTraceConfig(
+                n_flows=flows,
+                duration=30.0,
+                seed=seed + 1,
+                app_header_probability=0.0,
+            )
+        )
+        path = directory / f"ingest_{tag}.pcap"
+        write_pcap(path, trace.packets)
+        return path, len(trace)
+
+    def engine_factory() -> StagedEngine:
+        return StagedEngine(classifier, config, sinks=[StatsSink()])
+
+    def materialized_run(path: Path) -> StagedEngine:
+        trace = Trace(packets=read_pcap(path))
+        with engine_factory() as engine:
+            engine.process_trace(trace, sample_interval=1e9)
+        return engine
+
+    def streaming_run(path: Path) -> StagedEngine:
+        with engine_factory() as engine:
+            with PcapFileSource(path) as source:
+                engine.process_source(source, sample_interval=1e9)
+        return engine
+
+    def peak_of(fn) -> int:
+        tracemalloc.start()
+        try:
+            fn()
+            return tracemalloc.get_traced_memory()[1]
+        finally:
+            tracemalloc.stop()
+
+    def drain_decode(path: Path) -> None:
+        for _ in iter_pcap(path):
+            pass
+
+    with tempfile.TemporaryDirectory(prefix="bench_ingest_") as tmp:
+        directory = Path(tmp)
+        path, n_packets = make_pcap(directory, n_flows, "1x")
+        path_2x, n_packets_2x = make_pcap(directory, n_flows * 2, "2x")
+        pcap_bytes = path.stat().st_size
+        pcap_bytes_2x = path_2x.stat().st_size
+
+        # Equivalence gate: on the serial runtime the streaming path
+        # must be label-and-counter identical before its timing counts.
+        stats_m = materialized_run(path).stats
+        stats_s = streaming_run(path).stats
+        labels_m = {c.key: c.label for c in stats_m.classified}
+        labels_s = {c.key: c.label for c in stats_s.classified}
+        if labels_s != labels_m or (
+            stats_s.classifications,
+            stats_s.cdb_hits,
+            stats_s.unclassifiable,
+        ) != (stats_m.classifications, stats_m.cdb_hits, stats_m.unclassifiable):
+            raise AssertionError("streaming ingest changed labels or counters")
+
+        materialized_s = _best_of(lambda: materialized_run(path), repeat)
+        streaming_s = _best_of(lambda: streaming_run(path), repeat)
+
+        # Memory runs are separate from the timed runs: tracemalloc
+        # slows allocation severalfold, so the peaks are exact but the
+        # seconds above stay uninstrumented.
+        materialized_peak = peak_of(lambda: materialized_run(path))
+        streaming_peak = peak_of(lambda: streaming_run(path))
+        decode_peak_1x = peak_of(lambda: drain_decode(path))
+        decode_peak_2x = peak_of(lambda: drain_decode(path_2x))
+
+    return {
+        "model": model,
+        "extractor": "incremental",
+        "buffer_size": buffer_size,
+        "n_flows": n_flows,
+        "n_packets": n_packets,
+        "n_packets_2x": n_packets_2x,
+        "pcap_bytes": pcap_bytes,
+        "pcap_bytes_2x": pcap_bytes_2x,
+        "throughput": {
+            "materialized": {
+                "seconds": materialized_s,
+                "packets_per_s": n_packets / materialized_s,
+            },
+            "streaming": {
+                "seconds": streaming_s,
+                "packets_per_s": n_packets / streaming_s,
+            },
+            "streaming_vs_materialized": materialized_s / streaming_s,
+        },
+        "memory": {
+            "materialized_peak_bytes": materialized_peak,
+            "streaming_peak_bytes": streaming_peak,
+            "streaming_vs_materialized": streaming_peak / materialized_peak,
+            "decode_peak_bytes_1x": decode_peak_1x,
+            "decode_peak_bytes_2x": decode_peak_2x,
+            "decode_peak_2x_vs_1x": decode_peak_2x / decode_peak_1x,
+        },
+        "labels_identical": True,
+    }
+
+
 def collect_results(
     n_buffers: int = 256,
     buffer_bytes: int = 1024,
@@ -879,6 +1025,35 @@ def collect_parallel_results(
     return results
 
 
+def collect_ingest_results(
+    n_flows: int = 300,
+    per_class: int = 30,
+    repeat: int = 3,
+    seed: int = SEED,
+) -> dict:
+    """Streaming ingest comparison, as the ``BENCH_ingest.json`` payload."""
+    results = {
+        "generated_by": "benchmarks/run_perf.py",
+        "seed": seed,
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "ingest": bench_ingest(n_flows, per_class, repeat, seed),
+    }
+    # Headline numbers at the top level, where CI and readers look first.
+    ingest = results["ingest"]
+    results["streaming_vs_materialized_throughput"] = (
+        ingest["throughput"]["streaming_vs_materialized"]
+    )
+    results["streaming_peak_fraction_of_materialized"] = (
+        ingest["memory"]["streaming_vs_materialized"]
+    )
+    results["decode_peak_2x_vs_1x"] = ingest["memory"]["decode_peak_2x_vs_1x"]
+    return results
+
+
 def main(argv: "list[str] | None" = None) -> dict:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
@@ -886,6 +1061,9 @@ def main(argv: "list[str] | None" = None) -> dict:
     parser.add_argument("--state-out", type=Path, default=DEFAULT_STATE_OUT)
     parser.add_argument(
         "--parallel-out", type=Path, default=DEFAULT_PARALLEL_OUT
+    )
+    parser.add_argument(
+        "--ingest-out", type=Path, default=DEFAULT_INGEST_OUT
     )
     parser.add_argument("--buffers", type=int, default=256)
     parser.add_argument("--buffer-bytes", type=int, default=1024)
@@ -899,6 +1077,7 @@ def main(argv: "list[str] | None" = None) -> dict:
     parser.add_argument("--state-payload-bytes", type=int, default=64)
     parser.add_argument("--state-packets-per-flow", type=int, default=4)
     parser.add_argument("--parallel-flows", type=int, default=400)
+    parser.add_argument("--ingest-flows", type=int, default=300)
     parser.add_argument(
         "--parallel-workers",
         type=int,
@@ -931,6 +1110,7 @@ def main(argv: "list[str] | None" = None) -> dict:
         args.state_flows = 120
         args.parallel_flows = 120
         args.parallel_workers = [1, 2]
+        args.ingest_flows = 60
         args.repeat = 1
     results = collect_results(
         n_buffers=args.buffers,
@@ -1023,9 +1203,33 @@ def main(argv: "list[str] | None" = None) -> dict:
                 f"({entry['vs_serial']:.2f}x vs serial)"
             )
     print(f"wrote {args.parallel_out}")
+
+    ingest_results = collect_ingest_results(
+        n_flows=args.ingest_flows,
+        per_class=args.e2e_per_class,
+        repeat=args.repeat,
+        seed=args.seed,
+    )
+    args.ingest_out.write_text(json.dumps(ingest_results, indent=2) + "\n")
+    ingest = ingest_results["ingest"]
+    print(
+        f"ingest throughput: streaming "
+        f"{ingest['throughput']['streaming']['packets_per_s']:,.0f} packets/s "
+        f"vs materialized "
+        f"{ingest['throughput']['materialized']['packets_per_s']:,.0f} "
+        f"({ingest_results['streaming_vs_materialized_throughput']:.2f}x)"
+    )
+    print(
+        f"ingest memory: streaming peak "
+        f"{ingest['memory']['streaming_peak_bytes']:,} B vs materialized "
+        f"{ingest['memory']['materialized_peak_bytes']:,} B; decode peak at "
+        f"2x trace {ingest_results['decode_peak_2x_vs_1x']:.2f}x of 1x"
+    )
+    print(f"wrote {args.ingest_out}")
     results["engine"] = engine_results
     results["state"] = state_results
     results["parallel"] = parallel_results
+    results["ingest"] = ingest_results
     return results
 
 

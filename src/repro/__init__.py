@@ -17,10 +17,16 @@ Quickstart (the stable facade — see :mod:`repro.api`)::
     print(stats.classifications, engine.evaluate_against(trace))
     print(repro.render_text(engine.metrics))   # telemetry scrape
 
+Streaming: ``engine.process_source(repro.PcapFileSource(path))``
+classifies a capture of any size in bounded memory, and
+:class:`repro.AsyncIngestDriver` feeds an engine from asyncio
+producers (datagram endpoints, live sockets) — see :mod:`repro.ingest`.
+
 Subpackages: ``repro.core`` (entropy vectors, estimation, classifier,
 CDB, pipeline), ``repro.engine`` (staged online engine),
 ``repro.runtime`` (execution runtimes: serial / worker threads /
-worker processes, via a pluggable registry),
+worker processes, via a pluggable registry), ``repro.ingest``
+(streaming packet sources + the asyncio capture driver),
 ``repro.obs`` (telemetry), ``repro.ml`` (CART, SVM/SMO/DAGSVM),
 ``repro.streaming`` (AMS / stream-entropy estimation), ``repro.net``
 (packets, flows, pcap, trace generation), ``repro.data`` (synthetic
@@ -65,13 +71,23 @@ from repro.engine import (
     StagedEngine,
     StatsSink,
 )
+from repro.ingest import (
+    AsyncIngestDriver,
+    PacketSource,
+    PcapFileSource,
+    ReplaySource,
+    SocketSource,
+    TraceSource,
+)
 from repro.ml import DagSvmClassifier, DecisionTreeClassifier
 from repro.net import (
     FlowKey,
     GatewayTraceConfig,
     Packet,
+    PcapDecodeStats,
     Trace,
     generate_gateway_trace,
+    iter_pcap,
     read_pcap,
     write_pcap,
 )
@@ -85,9 +101,10 @@ from repro.obs import (
     validate_text,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "AsyncIngestDriver",
     "BINARY",
     "CallbackSink",
     "ClassificationDatabase",
@@ -119,17 +136,24 @@ __all__ = [
     "PHI_SVM",
     "PHI_SVM_PRIME",
     "Packet",
+    "PacketSource",
+    "PcapDecodeStats",
+    "PcapFileSource",
     "QueueSink",
+    "ReplaySource",
     "ResultSink",
+    "SocketSource",
     "StagedEngine",
     "StatsSink",
     "TEXT",
     "Timer",
     "Trace",
+    "TraceSource",
     "TrainingMethod",
     "build_corpus",
     "entropy_vector",
     "generate_gateway_trace",
+    "iter_pcap",
     "jensen_shannon_divergence",
     "kgram_entropy",
     "kl_divergence",

@@ -13,6 +13,13 @@ Four calls cover the whole workflow, so user code never imports from
     stats = engine.process_trace(repro.generate_gateway_trace())
     print(repro.render_text(engine.metrics))      # telemetry scrape
 
+To classify a capture without materializing it, stream a
+:mod:`repro.ingest` source instead of a trace::
+
+    with repro.open_engine(clf) as engine:
+        with repro.PcapFileSource("capture.pcap") as source:
+            stats = engine.process_source(source)   # O(live flows) memory
+
 * :func:`train` — fit an :class:`IustitiaClassifier` on a labelled
   corpus;
 * :func:`save_model` / :func:`load_model` — JSON persistence (never
@@ -134,6 +141,12 @@ def open_engine(
     attached sink. ``close()`` is idempotent; processing packets after
     it — or calling ``finish()`` twice with no packets in between —
     raises :class:`repro.EngineClosedError`.
+
+    For captures that should never be materialized, feed the engine a
+    streaming source — ``engine.process_source(PcapFileSource(path))``
+    decodes one record at a time (see :mod:`repro.ingest`), and
+    :class:`repro.AsyncIngestDriver` bridges asyncio producers (live
+    datagram endpoints) into the same engine.
     """
     if isinstance(classifier, (str, os.PathLike)):
         classifier = load_model(classifier)

@@ -16,8 +16,10 @@ Subcommands::
 ``gen-trace`` writes a synthetic gateway trace as a classic pcap plus an
 optional ground-truth label file; ``train`` builds a classifier from a
 synthetic corpus and saves it as JSON (no pickle: models loaded at a
-network boundary must not execute code); ``classify`` runs the online
-engine over a pcap, printing one line per classified flow and, when
+network boundary must not execute code); ``classify`` streams a pcap
+through the online engine (:class:`repro.ingest.PcapFileSource` →
+``process_source``, one record in memory at a time — captures larger
+than RAM are fine), printing one line per classified flow and, when
 ground truth is supplied, an accuracy report. ``--metrics`` dumps the
 run's telemetry registry in Prometheus text exposition format.
 
@@ -36,8 +38,9 @@ from repro.api import load_model, open_engine, save_model, train
 from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.labels import FlowNature
 from repro.data.corpus import build_corpus
+from repro.ingest import PcapFileSource
 from repro.net.flow import FlowKey
-from repro.net.pcap import read_pcap, write_pcap
+from repro.net.pcap import write_pcap
 from repro.net.trace import Trace
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 from repro.obs import render_text
@@ -111,7 +114,6 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             for text, name in raw.items()
         }
 
-    trace = Trace(packets=read_pcap(args.pcap), labels=labels)
     extractor = getattr(args, "extractor", "batch")
     runtime = getattr(args, "runtime", "serial")
     pipeline = IustitiaConfig(
@@ -134,8 +136,19 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         print(f"error: cannot use --extractor {extractor} "
               f"with --runtime {runtime}: {exc}", file=sys.stderr)
         return 2
-    with engine:
-        stats = engine.process_trace(trace)
+    # Stream the capture: one record in memory at a time, never a
+    # materialized list[Packet] — memory is O(live flows), not O(pcap).
+    source = PcapFileSource(args.pcap, registry=engine.metrics)
+    with engine, source:
+        stats = engine.process_source(source)
+    decode = source.stats
+    if decode.truncated_records or decode.skipped_frames or decode.decode_errors:
+        print(
+            f"decode: {decode.truncated_records} snaplen-truncated, "
+            f"{decode.skipped_frames} non-IPv4 frames skipped, "
+            f"{decode.decode_errors} undecodable",
+            file=sys.stderr,
+        )
 
     results = []
     for outcome in stats.classified:
@@ -163,7 +176,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
             handle.write(render_text(engine.metrics))
         print(f"wrote telemetry exposition to {args.metrics}")
     if labels:
-        report = engine.evaluate_against(trace)
+        report = engine.evaluate_against(Trace(packets=[], labels=labels))
         print("accuracy vs ground truth: "
               + ", ".join(f"{k}={v:.1%}" for k, v in report.items()))
     return 0

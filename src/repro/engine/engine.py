@@ -653,28 +653,36 @@ class StagedEngine:
         self.runtime.finish(now)
         self._finished = True
 
-    def process_trace(
-        self, trace: Trace, sample_interval: float = 1.0
+    def process_source(
+        self, source, sample_interval: float = 1.0
     ) -> EngineStats:
-        """Run a whole trace; samples the CDB size every ``sample_interval``.
+        """Run any packet iterable through the engine in bounded memory.
 
-        Also triggers timeout flushes at each sample point, and classifies
-        any flows still pending at the end of the trace.
+        ``source`` is anything yielding :class:`Packet` in timestamp
+        order — a list, a generator, or a :class:`repro.ingest`
+        :class:`~repro.ingest.PacketSource` such as
+        :class:`~repro.ingest.PcapFileSource` (which never materializes
+        the capture). Memory stays O(live flows), independent of stream
+        length. Timeout flushes and the Figure-8 CDB size series tick on
+        the packet clock every ``sample_interval`` seconds, and the
+        stream is drained (:meth:`finish`) at the final packet's
+        timestamp — packet for packet what :meth:`process_trace` does.
         """
         if sample_interval <= 0:
             raise ValueError(f"sample_interval must be positive, got {sample_interval}")
         next_sample = None
+        final = None
         series = self._series
-        for packet in trace.packets:
+        for packet in source:
             self.process_packet(packet)
+            final = packet.timestamp
             if next_sample is None:
                 next_sample = packet.timestamp + sample_interval
             while packet.timestamp >= next_sample:
                 self.flush_timeouts(packet.timestamp)
                 series.append((next_sample, len(self.table)))
                 next_sample += sample_interval
-        if trace.packets:
-            final = trace.packets[-1].timestamp
+        if final is not None:
             self.finish(final)
             if series and series[-1][0] == final:
                 # The in-loop sampler already emitted a sample at exactly
@@ -684,6 +692,17 @@ class StagedEngine:
             else:
                 series.append((final, len(self.table)))
         return self.stats
+
+    def process_trace(
+        self, trace: Trace, sample_interval: float = 1.0
+    ) -> EngineStats:
+        """Run a whole in-memory trace (see :meth:`process_source`).
+
+        Samples the CDB size and triggers timeout flushes every
+        ``sample_interval`` packet-clock seconds, and classifies any
+        flows still pending at the end of the trace.
+        """
+        return self.process_source(trace.packets, sample_interval)
 
     # -- evaluation ------------------------------------------------------------
 

@@ -1,0 +1,32 @@
+"""Streaming ingest layer: packet sources and the asyncio capture driver.
+
+Everything upstream of ``StagedEngine.process_packet`` lives here — the
+:class:`PacketSource` protocol and its implementations (pcap files,
+in-memory traces, wall-clock replay, datagram sockets), the
+:class:`AsyncIngestDriver` that bridges asyncio producers into any
+runtime with bounded buffering and backpressure, and the shared ingest
+metrics instruments. See DESIGN.md's "Ingest layer" section for the
+memory and equivalence contracts.
+"""
+
+from repro.ingest.driver import AsyncIngestDriver, DatagramIngestProtocol
+from repro.ingest.metrics import INGEST_LAG_BUCKETS, IngestMetrics
+from repro.ingest.sources import (
+    PacketSource,
+    PcapFileSource,
+    ReplaySource,
+    SocketSource,
+    TraceSource,
+)
+
+__all__ = [
+    "INGEST_LAG_BUCKETS",
+    "AsyncIngestDriver",
+    "DatagramIngestProtocol",
+    "IngestMetrics",
+    "PacketSource",
+    "PcapFileSource",
+    "ReplaySource",
+    "SocketSource",
+    "TraceSource",
+]

@@ -1,0 +1,114 @@
+"""Ingest-side telemetry: the instruments every packet source shares.
+
+One :class:`IngestMetrics` bundle per source (or driver), all landing in
+a caller-supplied :class:`repro.obs.MetricsRegistry` so ingest counters
+scrape alongside the engine's own instruments:
+
+* ``ingest_packets_total`` / ``ingest_bytes_total`` — packets yielded
+  and capture bytes consumed, labeled by source;
+* ``ingest_truncated_records_total`` — snaplen-truncated pcap records
+  skipped instead of misparsed;
+* ``ingest_skipped_frames_total`` — non-IPv4 Ethernet frames dropped;
+* ``ingest_decode_errors_total`` — datagrams/records that failed to
+  parse as IPv4/TCP/UDP;
+* ``ingest_inflight_depth`` — packets queued inside
+  :class:`~repro.ingest.driver.AsyncIngestDriver` awaiting dispatch
+  (the bounded in-flight buffer);
+* ``ingest_lag_seconds`` — how far behind its wall-clock schedule a
+  :class:`~repro.ingest.sources.ReplaySource` delivered each packet.
+
+File-backed sources level their counters from decode stats inside the
+iteration loop (plain int adds); the gauge and histogram are created on
+demand so sources that never replay or queue do not register them.
+"""
+
+from __future__ import annotations
+
+__all__ = ["INGEST_LAG_BUCKETS", "IngestMetrics"]
+
+#: Buckets for the replay-lag histogram: from scheduler-noise microseconds
+#: up to multi-second stalls (a replay that cannot keep pace).
+INGEST_LAG_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0
+)
+
+
+class IngestMetrics:
+    """Ingest instruments for one source, bound to a shared registry."""
+
+    __slots__ = (
+        "registry",
+        "source",
+        "packets",
+        "bytes",
+        "truncated_records",
+        "skipped_frames",
+        "decode_errors",
+    )
+
+    def __init__(self, registry, source: str) -> None:
+        self.registry = registry
+        self.source = source
+        self.packets = registry.counter(
+            "ingest_packets_total",
+            help="Packets yielded by ingest sources",
+            source=source,
+        )
+        self.bytes = registry.counter(
+            "ingest_bytes_total",
+            help="Capture bytes consumed by ingest sources",
+            source=source,
+        )
+        self.truncated_records = registry.counter(
+            "ingest_truncated_records_total",
+            help="Snaplen-truncated pcap records skipped (captured < "
+            "original) instead of misparsed",
+            source=source,
+        )
+        self.skipped_frames = registry.counter(
+            "ingest_skipped_frames_total",
+            help="Non-IPv4 link-layer frames skipped during decode",
+            source=source,
+        )
+        self.decode_errors = registry.counter(
+            "ingest_decode_errors_total",
+            help="Records or datagrams that failed IPv4/TCP/UDP decode",
+            source=source,
+        )
+
+    def inflight_gauge(self):
+        """The driver's in-flight depth gauge (created on first use)."""
+        return self.registry.gauge(
+            "ingest_inflight_depth",
+            help="Packets buffered in the async ingest driver awaiting "
+            "engine dispatch",
+            source=self.source,
+        )
+
+    def lag_histogram(self):
+        """The replay-lag histogram (created on first use)."""
+        return self.registry.histogram(
+            "ingest_lag_seconds",
+            buckets=INGEST_LAG_BUCKETS,
+            help="Seconds a replayed packet was delivered behind its "
+            "wall-clock schedule",
+            source=self.source,
+        )
+
+    def observe_decode(self, stats, synced: dict) -> None:
+        """Level counters up to a :class:`PcapDecodeStats` snapshot.
+
+        ``synced`` carries the last values pushed, per metrics bundle,
+        so multiple passes over one source (or several sources sharing
+        a label) keep the counters monotonic and exact.
+        """
+        for attribute, counter in (
+            ("packets", self.packets),
+            ("bytes", self.bytes),
+            ("truncated_records", self.truncated_records),
+            ("skipped_frames", self.skipped_frames),
+            ("decode_errors", self.decode_errors),
+        ):
+            current = getattr(stats, attribute)
+            counter.inc(current - synced.get(attribute, 0))
+            synced[attribute] = current

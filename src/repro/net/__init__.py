@@ -18,7 +18,7 @@ from repro.net.packet import (
     TcpHeader,
     UdpHeader,
 )
-from repro.net.pcap import read_pcap, write_pcap
+from repro.net.pcap import PcapDecodeStats, iter_pcap, read_pcap, write_pcap
 from repro.net.trace import Trace, TraceRecord
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 from repro.net.appproto import (
@@ -36,6 +36,7 @@ __all__ = [
     "PROTO_TCP",
     "PROTO_UDP",
     "Packet",
+    "PcapDecodeStats",
     "TcpHeader",
     "Trace",
     "TraceRecord",
@@ -43,6 +44,7 @@ __all__ = [
     "assemble_flows",
     "flow_hash",
     "generate_gateway_trace",
+    "iter_pcap",
     "make_app_header",
     "random_app_header",
     "read_pcap",

@@ -1,26 +1,57 @@
 """Classic pcap file format reader/writer.
 
-Implements the original libpcap format (magic ``0xa1b2c3d4``, microsecond
-timestamps) with two link types: raw IPv4 (the writer's default — packets
-begin directly with the IP header) and Ethernet II (what most real
-captures use; the reader strips the 14-byte frame header, the writer can
-synthesize one). Serialized :class:`Packet` objects round-trip through
-files that standard tools can also open.
+Implements the original libpcap format with two link types: raw IPv4
+(the writer's default — packets begin directly with the IP header) and
+Ethernet II (what most real captures use; the reader strips the 14-byte
+frame header, the writer can synthesize one). Both byte orders and both
+timestamp resolutions are accepted on read — microsecond captures
+(magic ``0xa1b2c3d4``) and nanosecond captures (``0xa1b23c4d``, what
+modern ``tcpdump --time-stamp-precision=nano`` writes) — with
+timestamps normalized to float seconds; pcapng is still rejected with a
+clear error rather than misparsed. Serialized :class:`Packet` objects
+round-trip through files that standard tools can also open.
+
+The decode path is a generator, :func:`iter_pcap`, that yields one
+:class:`Packet` per record without ever holding the file in memory —
+the streaming ingest layer (:mod:`repro.ingest`) builds on it, and
+:func:`read_pcap` is just ``list(iter_pcap(path))``. Symmetrically,
+:func:`write_pcap` consumes any iterable of packets and streams records
+to disk, so ``write_pcap(out, iter_pcap(src))`` re-encodes a capture of
+any size in bounded memory.
 """
 
 from __future__ import annotations
 
 import struct
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Iterator
 
 from repro.net.ethernet import ETHERTYPE_IPV4, EthernetHeader
 from repro.net.packet import Packet
 
-__all__ = ["LINKTYPE_ETHERNET", "LINKTYPE_RAW", "read_pcap", "write_pcap"]
+__all__ = [
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW",
+    "PcapDecodeStats",
+    "iter_pcap",
+    "read_pcap",
+    "write_pcap",
+]
 
 _MAGIC = 0xA1B2C3D4
 _MAGIC_SWAPPED = 0xD4C3B2A1
+_MAGIC_NANO = 0xA1B23C4D
+_MAGIC_NANO_SWAPPED = 0x4D3CB2A1
 _VERSION = (2, 4)
+
+#: ``magic (as read big-endian) -> (struct byte order, ticks per second)``.
+_MAGICS = {
+    _MAGIC: ("!", 1_000_000),
+    _MAGIC_SWAPPED: ("<", 1_000_000),
+    _MAGIC_NANO: ("!", 1_000_000_000),
+    _MAGIC_NANO_SWAPPED: ("<", 1_000_000_000),
+}
 
 #: Raw IP link type: packets begin directly with the IPv4 header.
 LINKTYPE_RAW = 101
@@ -29,19 +60,44 @@ LINKTYPE_RAW = 101
 LINKTYPE_ETHERNET = 1
 
 
+@dataclass
+class PcapDecodeStats:
+    """Decode-side accounting of one :func:`iter_pcap` pass.
+
+    ``truncated_records`` counts records whose captured length is short
+    of the original packet (snaplen truncation) — those are *skipped*,
+    not yielded, because a partial payload would silently feed the
+    classifier wrong bytes. ``skipped_frames`` counts Ethernet frames
+    that are not IPv4 (ARP, IPv6, ...). ``decode_errors`` counts
+    records whose body failed to parse as an IPv4/TCP/UDP packet.
+    """
+
+    records: int = 0
+    packets: int = 0
+    bytes: int = 0
+    truncated_records: int = 0
+    skipped_frames: int = 0
+    decode_errors: int = 0
+
+
 def write_pcap(
     path: "str | Path",
-    packets: "list[Packet]",
+    packets,
     linktype: int = LINKTYPE_RAW,
-) -> None:
-    """Write packets to ``path`` in classic pcap format.
+) -> int:
+    """Write packets to ``path`` in classic pcap format (microseconds).
 
-    ``linktype`` selects raw IP (default) or Ethernet II; with Ethernet, a
-    synthetic broadcast frame header is prepended to each packet.
+    ``packets`` is any iterable of :class:`Packet` — a list, a
+    generator, or a :mod:`repro.ingest` source — consumed one record at
+    a time, so arbitrarily large captures stream to disk in bounded
+    memory. ``linktype`` selects raw IP (default) or Ethernet II; with
+    Ethernet, a synthetic broadcast frame header is prepended to each
+    packet. Returns the number of records written.
     """
     if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
         raise ValueError(f"unsupported link type {linktype}")
     frame = EthernetHeader().to_bytes() if linktype == LINKTYPE_ETHERNET else b""
+    written = 0
     with open(path, "wb") as handle:
         handle.write(
             struct.pack(
@@ -64,29 +120,44 @@ def write_pcap(
                 micros -= 1_000_000
             handle.write(struct.pack("!IIII", seconds, micros, len(data), len(data)))
             handle.write(data)
+            written += 1
+    return written
 
 
-def read_pcap(path: "str | Path") -> list[Packet]:
-    """Read a classic pcap file (raw-IP or Ethernet link type).
+def iter_pcap(
+    path: "str | Path",
+    stats: "PcapDecodeStats | None" = None,
+) -> Iterator[Packet]:
+    """Yield packets from a classic pcap file, one record at a time.
 
-    Handles both byte orders; Ethernet frames are stripped (non-IPv4
-    frames are skipped); rejects pcapng and other link types with a clear
-    error rather than misparsing.
+    Incremental decode: memory stays O(one record) no matter how large
+    the capture is. Handles both byte orders and both microsecond and
+    nanosecond timestamp magics (normalized to float seconds); Ethernet
+    frames are stripped (non-IPv4 frames are skipped); snaplen-truncated
+    records (``captured < original``) are counted and skipped rather
+    than misparsed; rejects pcapng and other link types with a clear
+    error. A truncated file tail (partial record header or body) raises
+    ``ValueError`` mid-iteration.
+
+    ``stats`` — an optional :class:`PcapDecodeStats` the caller can
+    watch (or let :class:`repro.ingest.PcapFileSource` surface as
+    ingest metrics); pass ``None`` to skip the bookkeeping object
+    entirely (one is still kept internally).
     """
+    if stats is None:
+        stats = PcapDecodeStats()
     with open(path, "rb") as handle:
         global_header = handle.read(24)
         if len(global_header) < 24:
             raise ValueError(f"{path}: truncated pcap global header")
         magic = struct.unpack("!I", global_header[:4])[0]
-        if magic == _MAGIC:
-            order = "!"
-        elif magic == _MAGIC_SWAPPED:
-            order = "<"
-        else:
+        try:
+            order, ticks_per_second = _MAGICS[magic]
+        except KeyError:
             raise ValueError(
                 f"{path}: unrecognized pcap magic 0x{magic:08x} "
-                "(pcapng and nanosecond formats are not supported)"
-            )
+                "(pcapng is not supported)"
+            ) from None
         _vmaj, _vmin, _zone, _sig, _snap, linktype = struct.unpack(
             order + "HHiIII", global_header[4:]
         )
@@ -95,19 +166,27 @@ def read_pcap(path: "str | Path") -> list[Packet]:
                 f"{path}: link type {linktype} unsupported (expected raw IP "
                 f"{LINKTYPE_RAW} or Ethernet {LINKTYPE_ETHERNET})"
             )
-        packets: list[Packet] = []
         while True:
             record_header = handle.read(16)
             if not record_header:
-                break
+                return
             if len(record_header) < 16:
                 raise ValueError(f"{path}: truncated pcap record header")
-            seconds, micros, captured, _original = struct.unpack(
+            seconds, ticks, captured, original = struct.unpack(
                 order + "IIII", record_header
             )
             record = handle.read(captured)
             if len(record) < captured:
                 raise ValueError(f"{path}: truncated pcap record body")
+            stats.records += 1
+            stats.bytes += captured
+            if captured < original:
+                # Snaplen truncation: the tail of the packet never made
+                # it into the capture. Parsing the stub would hand the
+                # classifier a silently-shortened payload, so count it
+                # and move on.
+                stats.truncated_records += 1
+                continue
             # One allocation per record (the read itself); everything
             # downstream — frame strip, header parse, payload — slices
             # this view, so packet payloads reach the extractor fold
@@ -116,9 +195,21 @@ def read_pcap(path: "str | Path") -> list[Packet]:
             if linktype == LINKTYPE_ETHERNET:
                 frame = EthernetHeader.from_bytes(data)
                 if not frame.is_ipv4:
+                    stats.skipped_frames += 1
                     continue  # ARP/IPv6/etc.: not Iustitia traffic
-                data = data[EthernetHeader.HEADER_LEN :]
-            packets.append(
-                Packet.from_bytes(data, timestamp=seconds + micros / 1_000_000)
+            stats.packets += 1
+            yield Packet.from_bytes(
+                data if linktype == LINKTYPE_RAW
+                else data[EthernetHeader.HEADER_LEN :],
+                timestamp=seconds + ticks / ticks_per_second,
             )
-        return packets
+
+
+def read_pcap(path: "str | Path") -> list[Packet]:
+    """Read a whole classic pcap file into a list (see :func:`iter_pcap`).
+
+    Materializes every packet; for captures that should not fit in
+    memory, iterate :func:`iter_pcap` (or wrap it in a
+    :class:`repro.ingest.PcapFileSource`) instead.
+    """
+    return list(iter_pcap(path))

@@ -1,0 +1,249 @@
+"""Tests for the asyncio ingest driver."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.api import open_engine
+from repro.core.config import EngineConfig
+from repro.ingest import AsyncIngestDriver
+from repro.obs import MetricsRegistry
+
+
+def _labels(stats):
+    return {c.key: c.label for c in stats.classified}
+
+
+def _counters(stats):
+    return (
+        stats.packets,
+        stats.classifications,
+        stats.cdb_hits,
+        stats.unclassifiable,
+        stats.fin_removals,
+        stats.reclassifications,
+    )
+
+
+def _offline(trained_cart, small_trace, config=None):
+    """Baseline run doing exactly what the driver does: dispatch + finish.
+
+    (``process_trace`` additionally flushes timeouts at every sample
+    tick, which classifies some flows earlier and shifts their later
+    packets into CDB hits — a different packet-clock schedule, not a
+    different result.)
+    """
+    with open_engine(trained_cart, config) as engine:
+        for packet in small_trace.packets:
+            engine.process_packet(packet)
+        engine.finish(small_trace.packets[-1].timestamp)
+        stats = engine.stats
+        return _labels(stats), _counters(stats)
+
+
+class TestValidation:
+    def test_rejects_bad_max_inflight(self, trained_cart):
+        with open_engine(trained_cart) as engine:
+            with pytest.raises(ValueError, match="max_inflight"):
+                AsyncIngestDriver(engine, max_inflight=0)
+
+    def test_rejects_bad_flush_interval(self, trained_cart):
+        with open_engine(trained_cart) as engine:
+            with pytest.raises(ValueError, match="flush_interval"):
+                AsyncIngestDriver(engine, flush_interval=0)
+
+
+class TestDeterminism:
+    def test_datagram_run_matches_offline_trace(
+        self, trained_cart, small_trace
+    ):
+        offline_labels, offline_counters = _offline(trained_cart, small_trace)
+
+        async def run():
+            registry = MetricsRegistry()
+            with open_engine(trained_cart) as engine:
+                driver = AsyncIngestDriver(
+                    engine, flush_interval=None, registry=registry
+                )
+                for packet in small_trace.packets:
+                    assert await driver.feed_datagram(
+                        packet.to_bytes(), timestamp=packet.timestamp
+                    )
+                stats = await driver.finish()
+                labels, counters = _labels(stats), _counters(stats)
+                await driver.close()
+                return labels, counters, driver
+
+        labels, counters, driver = asyncio.run(run())
+        assert labels == offline_labels
+        assert counters == offline_counters
+        assert driver.dispatched == len(small_trace.packets)
+        assert driver.dropped == 0
+
+    def test_finish_idempotent_and_close_idempotent(
+        self, trained_cart, small_trace
+    ):
+        async def run():
+            with open_engine(trained_cart) as engine:
+                driver = AsyncIngestDriver(engine, flush_interval=None)
+                for packet in small_trace.packets[:50]:
+                    await driver.feed(packet)
+                first = await driver.finish()
+                # A second finish with no packets in between must not
+                # re-drain the engine (which would raise) — it reports
+                # the same stats.
+                second = await driver.finish()
+                assert _counters(first) == _counters(second)
+                await driver.close()
+                await driver.close()  # idempotent
+                with pytest.raises(RuntimeError, match="closed"):
+                    await driver.feed(small_trace.packets[0])
+
+        asyncio.run(run())
+
+
+class TestBackpressure:
+    def test_thread_runtime_queue_depth_one(self, trained_cart, small_trace):
+        config = EngineConfig(runtime="thread", num_workers=2, queue_depth=1)
+
+        def summarize(engine, stats):
+            # What the staged-equivalence suite gates for the thread
+            # runtime: labels, classification counts, and CDB lifetime
+            # counters (cdb_hits depends on coordinator timing there).
+            return (
+                _labels(stats),
+                stats.classifications,
+                stats.per_class,
+                engine.table.total_inserted,
+                engine.table.total_removed_fin,
+            )
+
+        with open_engine(trained_cart, config) as engine:
+            for packet in small_trace.packets:
+                engine.process_packet(packet)
+            engine.finish(small_trace.packets[-1].timestamp)
+            offline = summarize(engine, engine.stats)
+
+        async def run():
+            with open_engine(trained_cart, config) as engine:
+                # max_inflight=1 + queue_depth=1: every stage of the path
+                # is a one-slot buffer, so the run only completes if
+                # blocking backpressure propagates correctly end to end.
+                driver = AsyncIngestDriver(
+                    engine, max_inflight=1, flush_interval=None
+                )
+                for packet in small_trace.packets:
+                    await driver.feed(packet)
+                stats = await driver.finish()
+                summary = summarize(engine, stats)
+                await driver.close()
+                return summary
+
+        assert asyncio.run(run()) == offline
+
+    def test_nowait_feed_drops_when_inflight_full(
+        self, trained_cart, small_trace
+    ):
+        async def run():
+            with open_engine(trained_cart) as engine:
+                driver = AsyncIngestDriver(
+                    engine, max_inflight=1, flush_interval=None
+                )
+                first, second = small_trace.packets[:2]
+                # Without yielding to the loop the pump never runs, so
+                # the single in-flight slot stays occupied.
+                assert driver.feed_datagram_nowait(
+                    first.to_bytes(), timestamp=first.timestamp
+                )
+                assert not driver.feed_datagram_nowait(
+                    second.to_bytes(), timestamp=second.timestamp
+                )
+                assert driver.dropped == 1
+                await driver.finish()
+                await driver.close()
+
+        asyncio.run(run())
+
+
+class TestDecodeErrors:
+    def test_bad_datagram_counted_not_fatal(self, trained_cart, small_trace):
+        async def run():
+            with open_engine(trained_cart) as engine:
+                driver = AsyncIngestDriver(engine, flush_interval=None)
+                assert not await driver.feed_datagram(b"\x00\x01garbage")
+                packet = small_trace.packets[0]
+                assert await driver.feed_datagram(
+                    packet.to_bytes(), timestamp=packet.timestamp
+                )
+                await driver.finish()
+                assert driver.stats.decode_errors == 1
+                assert driver.stats.packets == 1
+                await driver.close()
+
+        asyncio.run(run())
+
+
+class TestDatagramEndpoint:
+    def test_udp_endpoint_feeds_engine(self, trained_cart, small_trace):
+        packets = small_trace.packets[:20]
+
+        async def run():
+            with open_engine(trained_cart) as engine:
+                driver = AsyncIngestDriver(engine, flush_interval=None)
+                transport = await driver.open_datagram_endpoint(
+                    "127.0.0.1", 0
+                )
+                host, port = transport.get_extra_info("sockname")[:2]
+                sender = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                try:
+                    for packet in packets:
+                        sender.sendto(packet.to_bytes(), (host, port))
+                    deadline = (
+                        asyncio.get_running_loop().time() + 10.0
+                    )
+                    while driver.stats.packets < len(packets):
+                        if asyncio.get_running_loop().time() > deadline:
+                            raise AssertionError(
+                                "endpoint delivered "
+                                f"{driver.stats.packets}/{len(packets)}"
+                            )
+                        await asyncio.sleep(0.01)
+                finally:
+                    sender.close()
+                    transport.close()
+                stats = await driver.finish()
+                assert stats.packets == len(packets)
+                await driver.close()
+
+        asyncio.run(run())
+
+
+class TestFlushTick:
+    def test_wall_clock_tick_flushes_pending_flows(
+        self, trained_cart, small_trace
+    ):
+        config = EngineConfig(buffer_timeout=0.2)
+
+        async def run():
+            with open_engine(trained_cart, config) as engine:
+                driver = AsyncIngestDriver(engine, flush_interval=0.05)
+                # Feed a prefix, then go silent: with no more packets the
+                # packet clock stalls, so only the wall-clock tick can
+                # time the pending flows out before finish().
+                for packet in small_trace.packets[:40]:
+                    await driver.feed(packet)
+
+                def handled() -> int:
+                    stats = engine.stats
+                    return stats.classifications + stats.unclassifiable
+
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while not handled():
+                    if asyncio.get_running_loop().time() > deadline:
+                        raise AssertionError("tick never flushed timeouts")
+                    await asyncio.sleep(0.02)
+                await driver.finish()
+                await driver.close()
+
+        asyncio.run(run())

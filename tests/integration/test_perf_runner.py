@@ -25,6 +25,7 @@ def test_run_perf_tiny_writes_json(tmp_path):
     engine_out = tmp_path / "bench_engine.json"
     state_out = tmp_path / "bench_state.json"
     parallel_out = tmp_path / "bench_parallel.json"
+    ingest_out = tmp_path / "bench_ingest.json"
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
@@ -42,6 +43,8 @@ def test_run_perf_tiny_writes_json(tmp_path):
             str(state_out),
             "--parallel-out",
             str(parallel_out),
+            "--ingest-out",
+            str(ingest_out),
         ],
         capture_output=True,
         text=True,
@@ -134,3 +137,22 @@ def test_run_perf_tiny_writes_json(tmp_path):
         assert (
             str(parallel_results[f"best_{runtime}_workers"]) in sweep[runtime]
         )
+
+    # Streaming ingest payload (BENCH_ingest.json): streaming vs
+    # materialized over the same pcap, labels validated identical
+    # in-runner before timing. No throughput floor (streaming buys
+    # memory, not speed), but the memory ordering is structural: the
+    # streaming run never holds the packet list, and the decode-only
+    # peak must not scale with the capture.
+    ingest_results = json.loads(ingest_out.read_text())
+    ingest = ingest_results["ingest"]
+    assert ingest["labels_identical"] is True
+    for path in ("materialized", "streaming"):
+        assert ingest["throughput"][path]["seconds"] > 0
+        assert ingest["throughput"][path]["packets_per_s"] > 0
+    assert (
+        ingest_results["streaming_vs_materialized_throughput"]
+        == ingest["throughput"]["streaming_vs_materialized"]
+    )
+    assert ingest_results["streaming_peak_fraction_of_materialized"] < 1.0
+    assert ingest_results["decode_peak_2x_vs_1x"] < 1.5

@@ -4,8 +4,16 @@ import struct
 
 import pytest
 
+from repro.net.ethernet import EthernetHeader
 from repro.net.packet import Ipv4Header, Packet, TcpHeader, UdpHeader
-from repro.net.pcap import LINKTYPE_RAW, read_pcap, write_pcap
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    PcapDecodeStats,
+    iter_pcap,
+    read_pcap,
+    write_pcap,
+)
 
 
 def _packets():
@@ -96,3 +104,107 @@ class TestErrorHandling:
         path.write_bytes(header + record + body)
         loaded = read_pcap(path)
         assert loaded[0].timestamp == pytest.approx(3.0005)
+
+    def test_truncated_record_header_mid_file(self, tmp_path):
+        path = tmp_path / "midtail.pcap"
+        write_pcap(path, _packets())
+        raw = path.read_bytes()
+        # Keep the first full record and 7 bytes of the second record
+        # header: iteration must yield packet one, then raise.
+        first_len = len(_packets()[0].to_bytes())
+        cut = 24 + 16 + first_len + 7
+        path.write_bytes(raw[:cut])
+        records = iter_pcap(path)
+        assert next(records).payload == _packets()[0].payload
+        with pytest.raises(ValueError, match="truncated pcap record header"):
+            next(records)
+
+
+def _write_nano_pcap(path, order, seconds, nanos, body):
+    magic = 0xA1B23C4D
+    header = struct.pack(order + "IHHiIII", magic, 2, 4, 0, 0, 65535, 101)
+    record = struct.pack(order + "IIII", seconds, nanos, len(body), len(body))
+    path.write_bytes(header + record + body)
+
+
+class TestNanosecondMagic:
+    def test_nanosecond_timestamps_normalized(self, tmp_path):
+        path = tmp_path / "nano.pcap"
+        _write_nano_pcap(path, "!", 7, 123_456_789, _packets()[0].to_bytes())
+        loaded = read_pcap(path)
+        assert len(loaded) == 1
+        assert loaded[0].timestamp == pytest.approx(7.123456789)
+
+    def test_byte_swapped_nanosecond_magic(self, tmp_path):
+        path = tmp_path / "nanoswap.pcap"
+        _write_nano_pcap(path, "<", 3, 500_000_000, _packets()[0].to_bytes())
+        loaded = read_pcap(path)
+        assert loaded[0].timestamp == pytest.approx(3.5)
+
+    def test_pcapng_still_rejected(self, tmp_path):
+        path = tmp_path / "ng.pcap"
+        path.write_bytes(b"\x0a\x0d\x0d\x0a" + b"\x00" * 20)
+        with pytest.raises(ValueError, match="pcapng is not supported"):
+            read_pcap(path)
+
+
+class TestEthernetFrames:
+    def test_non_ipv4_frames_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "mixed.pcap"
+        header = struct.pack(
+            "!IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET
+        )
+        ipv4 = EthernetHeader().to_bytes() + _packets()[0].to_bytes()
+        arp = EthernetHeader(ethertype=0x0806).to_bytes() + b"\x00" * 28
+        parts = [header]
+        for body in (arp, ipv4, arp):
+            parts.append(struct.pack("!IIII", 1, 0, len(body), len(body)))
+            parts.append(body)
+        path.write_bytes(b"".join(parts))
+        stats = PcapDecodeStats()
+        loaded = list(iter_pcap(path, stats=stats))
+        assert len(loaded) == 1
+        assert loaded[0].payload == _packets()[0].payload
+        assert stats.records == 3
+        assert stats.skipped_frames == 2
+        assert stats.packets == 1
+
+
+class TestSnaplenTruncation:
+    def test_truncated_records_counted_and_skipped(self, tmp_path):
+        path = tmp_path / "snap.pcap"
+        header = struct.pack(
+            "!IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 64, LINKTYPE_RAW
+        )
+        whole = _packets()[0].to_bytes()
+        stub = _packets()[1].to_bytes()[:10]  # captured 10 of a longer packet
+        parts = [header]
+        parts.append(struct.pack("!IIII", 1, 0, len(whole), len(whole)))
+        parts.append(whole)
+        parts.append(struct.pack("!IIII", 2, 0, len(stub), len(stub) + 30))
+        parts.append(stub)
+        path.write_bytes(b"".join(parts))
+        stats = PcapDecodeStats()
+        loaded = list(iter_pcap(path, stats=stats))
+        assert [p.payload for p in loaded] == [_packets()[0].payload]
+        assert stats.truncated_records == 1
+        assert stats.records == 2
+        assert stats.packets == 1
+
+
+class TestStreamingWrite:
+    def test_write_accepts_generator_and_returns_count(self, tmp_path):
+        path = tmp_path / "gen.pcap"
+        written = write_pcap(path, (p for p in _packets()))
+        assert written == 2
+        assert len(read_pcap(path)) == 2
+
+    def test_iter_to_write_round_trip(self, tmp_path):
+        src = tmp_path / "src.pcap"
+        dst = tmp_path / "dst.pcap"
+        write_pcap(src, _packets())
+        # iter_pcap | write_pcap: re-encode without materializing.
+        assert write_pcap(dst, iter_pcap(src)) == 2
+        assert [p.payload for p in read_pcap(dst)] == [
+            p.payload for p in _packets()
+        ]
