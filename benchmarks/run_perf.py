@@ -48,7 +48,12 @@ path (``read_pcap`` + ``process_trace``) on the same capture file:
 throughput ratio (reported honestly — the streaming decode does the
 same per-record work, so expect ~1x, not a speedup) and peak traced
 memory, including a decode-only peak at 1x and 2x trace sizes showing
-ingest memory is O(record), not O(capture).
+ingest memory is O(record), not O(capture). A fault-recovery sweep
+rides along in the same file: the engine consumes a scripted flaky
+source under a ``SupervisedSource`` across a fault-count sweep (zero
+backoff, no wall-clock sleeps), label equality and zero packet loss
+asserted at every count, reporting supervision overhead vs the clean
+run.
 
 Every speedup is validated for output equivalence before it is timed.
 Seeds are fixed; only the wall-clock numbers vary between machines.
@@ -81,7 +86,7 @@ from repro.data.binarygen import generate_binary_file
 from repro.data.cryptogen import generate_encrypted_file
 from repro.data.textgen import generate_text_file
 from repro.engine import StagedEngine, StatsSink
-from repro.ingest import PcapFileSource
+from repro.ingest import PcapFileSource, RetryPolicy, SupervisedSource
 from repro.net.pcap import iter_pcap, read_pcap, write_pcap
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 from repro.ml.svm.dagsvm import DagSvmClassifier
@@ -886,6 +891,131 @@ def bench_ingest(
     }
 
 
+class _ScriptedFlakySource:
+    """Packet source raising ``OSError`` at scripted global indices.
+
+    Reconnect semantics: the cursor survives re-iteration, each fault
+    fires once — exactly what a flapping socket looks like to a
+    :class:`~repro.ingest.SupervisedSource`. (The test-suite twin lives
+    in ``tests/ingest/faults.py``; benchmarks cannot import tests.)
+    """
+
+    def __init__(self, packets, fault_indices) -> None:
+        self.packets = packets
+        self.pending = set(fault_indices)
+        self.cursor = 0
+
+    def __iter__(self):
+        while self.cursor < len(self.packets):
+            if self.cursor in self.pending:
+                self.pending.discard(self.cursor)
+                raise OSError("scripted ingest fault")
+            packet = self.packets[self.cursor]
+            self.cursor += 1
+            yield packet
+
+    def close(self) -> None:
+        pass
+
+
+def bench_fault_recovery(
+    n_flows: int,
+    per_class: int,
+    repeat: int,
+    seed: int,
+    fault_counts: "tuple[int, ...]" = (1, 4, 16),
+    buffer_size: int = 32,
+    model: str = "cart",
+) -> dict:
+    """Supervised ingest under injected faults vs the clean run.
+
+    The same in-memory trace is streamed through ``process_source``
+    clean, then under a ``SupervisedSource`` with N evenly spaced
+    transient faults for each N in ``fault_counts``. Every faulty run
+    must produce identical labels with zero packet loss and exactly N
+    restarts before its timing counts. Backoff is zero and ``sleep`` is
+    a no-op, so the overhead measured is pure supervision machinery
+    (restart bookkeeping + generator re-entry), not waiting.
+    """
+    files, labels = labelled_training_files(per_class, 2048, seed)
+    classifier = IustitiaClassifier(model=model, buffer_size=buffer_size)
+    classifier.fit_files(files, labels)
+    pipeline = IustitiaConfig(
+        buffer_size=buffer_size, strip_known_headers=False
+    )
+    config = EngineConfig(
+        extractor="incremental", telemetry=False, pipeline=pipeline
+    )
+    trace = generate_gateway_trace(
+        GatewayTraceConfig(
+            n_flows=n_flows,
+            duration=30.0,
+            seed=seed + 1,
+            app_header_probability=0.0,
+        )
+    )
+    packets = trace.packets
+    policy = RetryPolicy(max_attempts=3, backoff_base=0.0)
+
+    def run(fault_indices) -> "tuple[dict, int]":
+        source = SupervisedSource(
+            _ScriptedFlakySource(packets, fault_indices),
+            policy=policy,
+            sleep=lambda seconds: None,
+        )
+        with StagedEngine(classifier, config, sinks=[StatsSink()]) as engine:
+            stats = engine.process_source(source, sample_interval=1e9)
+        return (
+            {c.key: c.label for c in stats.classified},
+            source.restarts,
+        )
+
+    clean_labels, _ = run(())
+    clean_s = _best_of(lambda: run(()), repeat)
+
+    runs = {}
+    for count in fault_counts:
+        step = len(packets) // (count + 1)
+        fault_indices = tuple(step * (i + 1) for i in range(count))
+
+        def faulty():
+            got_labels, restarts = run(fault_indices)
+            if got_labels != clean_labels:
+                raise AssertionError(
+                    f"{count} injected faults changed labels"
+                )
+            if restarts != count:
+                raise AssertionError(
+                    f"expected {count} restarts, supervisor did {restarts}"
+                )
+
+        seconds = _best_of(faulty, repeat)
+        runs[str(count)] = {
+            "seconds": seconds,
+            "packets_per_s": len(packets) / seconds,
+            "restarts": count,
+            "overhead_vs_clean": seconds / clean_s,
+        }
+
+    return {
+        "model": model,
+        "n_flows": n_flows,
+        "n_packets": len(packets),
+        "fault_counts": list(fault_counts),
+        "retry_policy": {
+            "max_attempts": policy.max_attempts,
+            "backoff_base": policy.backoff_base,
+        },
+        "clean": {
+            "seconds": clean_s,
+            "packets_per_s": len(packets) / clean_s,
+        },
+        "runs": runs,
+        "labels_identical": True,
+        "zero_packet_loss": True,
+    }
+
+
 def collect_results(
     n_buffers: int = 256,
     buffer_bytes: int = 1024,
@@ -1041,6 +1171,9 @@ def collect_ingest_results(
             "platform": platform.platform(),
         },
         "ingest": bench_ingest(n_flows, per_class, repeat, seed),
+        "fault_recovery": bench_fault_recovery(
+            n_flows, per_class, repeat, seed
+        ),
     }
     # Headline numbers at the top level, where CI and readers look first.
     ingest = results["ingest"]
@@ -1051,6 +1184,10 @@ def collect_ingest_results(
         ingest["memory"]["streaming_vs_materialized"]
     )
     results["decode_peak_2x_vs_1x"] = ingest["memory"]["decode_peak_2x_vs_1x"]
+    recovery = results["fault_recovery"]["runs"]
+    results["fault_recovery_overhead_max"] = max(
+        entry["overhead_vs_clean"] for entry in recovery.values()
+    )
     return results
 
 
@@ -1225,6 +1362,13 @@ def main(argv: "list[str] | None" = None) -> dict:
         f"{ingest['memory']['materialized_peak_bytes']:,} B; decode peak at "
         f"2x trace {ingest_results['decode_peak_2x_vs_1x']:.2f}x of 1x"
     )
+    recovery = ingest_results["fault_recovery"]
+    for count, entry in recovery["runs"].items():
+        print(
+            f"fault recovery {count} faults: "
+            f"{entry['packets_per_s']:,.0f} packets/s "
+            f"({entry['overhead_vs_clean']:.2f}x of clean), zero loss"
+        )
     print(f"wrote {args.ingest_out}")
     results["engine"] = engine_results
     results["state"] = state_results

@@ -73,10 +73,13 @@ from repro.engine import (
 )
 from repro.ingest import (
     AsyncIngestDriver,
+    ErrorPolicy,
     PacketSource,
     PcapFileSource,
     ReplaySource,
+    RetryPolicy,
     SocketSource,
+    SupervisedSource,
     TraceSource,
 )
 from repro.ml import DagSvmClassifier, DecisionTreeClassifier
@@ -101,7 +104,7 @@ from repro.obs import (
     validate_text,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AsyncIngestDriver",
@@ -118,6 +121,7 @@ __all__ = [
     "EngineConfig",
     "EntropyEstimator",
     "EntropyVector",
+    "ErrorPolicy",
     "FULL_FEATURES",
     "FeatureSet",
     "FlowKey",
@@ -142,9 +146,11 @@ __all__ = [
     "QueueSink",
     "ReplaySource",
     "ResultSink",
+    "RetryPolicy",
     "SocketSource",
     "StagedEngine",
     "StatsSink",
+    "SupervisedSource",
     "TEXT",
     "Timer",
     "Trace",

@@ -20,6 +20,20 @@ To classify a capture without materializing it, stream a
         with repro.PcapFileSource("capture.pcap") as source:
             stats = engine.process_source(source)   # O(live flows) memory
 
+For live or flaky inputs, wrap the source in a
+:class:`repro.SupervisedSource` (restarts under a
+:class:`repro.RetryPolicy`) and pass ``on_error=`` (an
+:class:`repro.ErrorPolicy` mode) to ``process_source`` so per-packet
+dispatch failures degrade or dead-letter instead of killing the run::
+
+    supervised = repro.SupervisedSource(
+        lambda: repro.PcapFileSource("capture.pcap"),
+        policy=repro.RetryPolicy(max_attempts=5),
+        skip_delivered=True,
+    )
+    with repro.open_engine(clf) as engine, supervised:
+        stats = engine.process_source(supervised, on_error="degrade")
+
 * :func:`train` — fit an :class:`IustitiaClassifier` on a labelled
   corpus;
 * :func:`save_model` / :func:`load_model` — JSON persistence (never
@@ -146,7 +160,11 @@ def open_engine(
     streaming source — ``engine.process_source(PcapFileSource(path))``
     decodes one record at a time (see :mod:`repro.ingest`), and
     :class:`repro.AsyncIngestDriver` bridges asyncio producers (live
-    datagram endpoints) into the same engine.
+    datagram endpoints) into the same engine. Both accept an
+    ``on_error`` :class:`repro.ErrorPolicy` for per-packet dispatch
+    faults, and :class:`repro.SupervisedSource` restarts failing
+    sources under a :class:`repro.RetryPolicy` — see DESIGN.md's
+    "Ingest supervision" for the full fault contract.
     """
     if isinstance(classifier, (str, os.PathLike)):
         classifier = load_model(classifier)

@@ -12,6 +12,8 @@ Subcommands::
                                    [--extractor batch|incremental]
                                    [--runtime serial|thread|process]
                                    [--workers N]
+                                   [--on-error fail-fast|degrade|dead-letter]
+                                   [--max-retries N]
 
 ``gen-trace`` writes a synthetic gateway trace as a classic pcap plus an
 optional ground-truth label file; ``train`` builds a classifier from a
@@ -22,6 +24,11 @@ through the online engine (:class:`repro.ingest.PcapFileSource` →
 than RAM are fine), printing one line per classified flow and, when
 ground truth is supplied, an accuracy report. ``--metrics`` dumps the
 run's telemetry registry in Prometheus text exposition format.
+``--on-error`` picks the dispatch error policy (fail-fast raises as
+always; degrade counts and continues; dead-letter spools the failing
+packets to stderr and continues) and ``--max-retries N`` supervises the
+pcap source itself, restarting it up to N consecutive times on
+retryable I/O errors with already-delivered packets skipped on replay.
 
 The command implementations go through the stable :mod:`repro.api`
 facade (``train`` / ``save_model`` / ``load_model`` / ``open_engine``),
@@ -38,9 +45,14 @@ from repro.api import load_model, open_engine, save_model, train
 from repro.core.config import EngineConfig, IustitiaConfig
 from repro.core.labels import FlowNature
 from repro.data.corpus import build_corpus
-from repro.ingest import PcapFileSource
+from repro.ingest import (
+    ErrorPolicy,
+    PcapFileSource,
+    RetryPolicy,
+    SupervisedSource,
+)
 from repro.net.flow import FlowKey
-from repro.net.pcap import write_pcap
+from repro.net.pcap import PcapDecodeStats, write_pcap
 from repro.net.trace import Trace
 from repro.net.tracegen import GatewayTraceConfig, generate_gateway_trace
 from repro.obs import render_text
@@ -136,12 +148,52 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         print(f"error: cannot use --extractor {extractor} "
               f"with --runtime {runtime}: {exc}", file=sys.stderr)
         return 2
+    mode = getattr(args, "on_error", "fail-fast")
+    if mode == "dead-letter":
+        def _spool_dead_letter(packet, exc) -> None:
+            where = packet.five_tuple if packet is not None else "<flush tick>"
+            print(f"dead-letter: {where}: {exc}", file=sys.stderr)
+
+        policy = ErrorPolicy("dead-letter", dead_letter=_spool_dead_letter)
+    else:
+        policy = ErrorPolicy(mode)
+
     # Stream the capture: one record in memory at a time, never a
     # materialized list[Packet] — memory is O(live flows), not O(pcap).
-    source = PcapFileSource(args.pcap, registry=engine.metrics)
+    # Decode stats are per pass, so keep every source the run opened
+    # (supervised retries may open several) and total them afterwards.
+    opened: "list[PcapFileSource]" = []
+
+    def _open_source() -> PcapFileSource:
+        opened.append(PcapFileSource(args.pcap, registry=engine.metrics))
+        return opened[-1]
+
+    max_retries = getattr(args, "max_retries", 0)
+    if max_retries:
+        source = SupervisedSource(
+            _open_source,
+            policy=RetryPolicy(max_attempts=max_retries),
+            skip_delivered=True,
+            registry=engine.metrics,
+            name="classify",
+        )
+    else:
+        source = _open_source()
     with engine, source:
-        stats = engine.process_source(source)
-    decode = source.stats
+        stats = engine.process_source(source, on_error=policy)
+    decode = PcapDecodeStats()
+    for passed in opened:
+        for field in ("records", "packets", "bytes", "truncated_records",
+                      "skipped_frames", "decode_errors"):
+            setattr(decode, field,
+                    getattr(decode, field) + getattr(passed.stats, field))
+    supervised_restarts = max_retries and source.restarts
+    if supervised_restarts:
+        print(f"supervision: {source.restarts} source restarts, "
+              f"zero packets replayed downstream", file=sys.stderr)
+    if policy.errors:
+        print(f"supervision: {policy.errors} dispatch errors absorbed "
+              f"({policy.dead_lettered} dead-lettered)", file=sys.stderr)
     if decode.truncated_records or decode.skipped_frames or decode.decode_errors:
         print(
             f"decode: {decode.truncated_records} snaplen-truncated, "
@@ -240,6 +292,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="workers for --runtime thread/process "
         "(default: one per shard, capped at CPU count)",
+    )
+    classify.add_argument(
+        "--on-error",
+        choices=("fail-fast", "degrade", "dead-letter"),
+        default="fail-fast",
+        help="per-packet dispatch error policy: raise immediately "
+        "(fail-fast, default), count the error and keep classifying "
+        "(degrade), or spool the failing packet to stderr and keep "
+        "classifying (dead-letter)",
+    )
+    classify.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="supervise the pcap source: restart it up to N consecutive "
+        "times on retryable I/O errors, skipping already-delivered "
+        "packets on the replay (0 disables supervision)",
     )
     classify.set_defaults(func=_cmd_classify)
     return parser

@@ -654,7 +654,11 @@ class StagedEngine:
         self._finished = True
 
     def process_source(
-        self, source, sample_interval: float = 1.0
+        self,
+        source,
+        sample_interval: float = 1.0,
+        *,
+        on_error=None,
     ) -> EngineStats:
         """Run any packet iterable through the engine in bounded memory.
 
@@ -667,14 +671,43 @@ class StagedEngine:
         the packet clock every ``sample_interval`` seconds, and the
         stream is drained (:meth:`finish`) at the final packet's
         timestamp — packet for packet what :meth:`process_trace` does.
+
+        ``on_error`` decides what a per-packet dispatch failure does: a
+        :class:`~repro.ingest.supervise.ErrorPolicy` (or one of its mode
+        strings). The default, fail-fast, raises exactly as before;
+        ``"degrade"`` counts the error on the policy (and in the
+        supervision metrics when telemetry is on) and keeps the stream
+        alive; ``"dead-letter"`` additionally hands ``(packet, exc)`` to
+        the policy's callback. Errors raised by the *source iterator*
+        are never absorbed here — wrap the source in a
+        :class:`~repro.ingest.supervise.SupervisedSource` for restart
+        semantics — and :class:`~repro.engine.types.EngineClosedError`
+        is always fatal (it is a usage bug, not a stream fault).
         """
         if sample_interval <= 0:
             raise ValueError(f"sample_interval must be positive, got {sample_interval}")
+        # Imported here, not at module top: repro.ingest sits above the
+        # engine in the layering (its driver imports engine types).
+        from repro.ingest.supervise import ErrorPolicy
+
+        policy = ErrorPolicy.coerce(on_error)
+        if policy.mode != "fail-fast" and self.metrics is not None:
+            from repro.ingest.metrics import SupervisionMetrics
+
+            policy.bind_metrics(
+                SupervisionMetrics(self.metrics, source="engine")
+            )
         next_sample = None
         final = None
         series = self._series
         for packet in source:
-            self.process_packet(packet)
+            try:
+                self.process_packet(packet)
+            except EngineClosedError:
+                raise
+            except Exception as exc:
+                if not policy.absorb(exc, packet):
+                    raise
             final = packet.timestamp
             if next_sample is None:
                 next_sample = packet.timestamp + sample_interval

@@ -4,13 +4,20 @@ Everything upstream of ``StagedEngine.process_packet`` lives here — the
 :class:`PacketSource` protocol and its implementations (pcap files,
 in-memory traces, wall-clock replay, datagram sockets), the
 :class:`AsyncIngestDriver` that bridges asyncio producers into any
-runtime with bounded buffering and backpressure, and the shared ingest
-metrics instruments. See DESIGN.md's "Ingest layer" section for the
-memory and equivalence contracts.
+runtime with bounded buffering and backpressure, the supervision layer
+(:class:`SupervisedSource` restarts failing sources under a
+:class:`RetryPolicy`; an :class:`ErrorPolicy` decides whether per-packet
+dispatch errors fail fast, degrade, or dead-letter), and the shared
+ingest metrics instruments. See DESIGN.md's "Ingest layer" and "Ingest
+supervision" sections for the memory, equivalence, and fault contracts.
 """
 
 from repro.ingest.driver import AsyncIngestDriver, DatagramIngestProtocol
-from repro.ingest.metrics import INGEST_LAG_BUCKETS, IngestMetrics
+from repro.ingest.metrics import (
+    INGEST_LAG_BUCKETS,
+    IngestMetrics,
+    SupervisionMetrics,
+)
 from repro.ingest.sources import (
     PacketSource,
     PcapFileSource,
@@ -18,15 +25,20 @@ from repro.ingest.sources import (
     SocketSource,
     TraceSource,
 )
+from repro.ingest.supervise import ErrorPolicy, RetryPolicy, SupervisedSource
 
 __all__ = [
     "INGEST_LAG_BUCKETS",
     "AsyncIngestDriver",
     "DatagramIngestProtocol",
+    "ErrorPolicy",
     "IngestMetrics",
     "PacketSource",
     "PcapFileSource",
     "ReplaySource",
+    "RetryPolicy",
     "SocketSource",
+    "SupervisedSource",
+    "SupervisionMetrics",
     "TraceSource",
 ]

@@ -24,10 +24,23 @@ runtime protocol change. The pieces:
   seconds. Pass ``flush_interval=None`` for fully deterministic,
   packet-clock-only runs.
 
+Error handling is explicit, not accidental: the driver takes an
+``on_error`` :class:`~repro.ingest.supervise.ErrorPolicy`. Under the
+default fail-fast policy the *first* dispatch error is preserved, the
+engine is never touched again, and every later queued packet drains as
+a counted drop (:attr:`~AsyncIngestDriver.post_error_drops`) so
+producers never hang on a forever-full queue; ``finish()`` raises that
+first error. Degrade and dead-letter policies absorb per-packet errors
+(counted, optionally spooled to a callback) and keep the stream alive.
+Flush-tick failures follow the same policy: counted, retried on the
+next tick under degrade, first-error-preserving fatal under fail-fast.
+
 Lifecycle: ``start()`` (implicit on first feed) → feed/endpoint traffic
 → ``await finish()`` (drain, final engine flush, returns stats) →
 ``await close()`` (idempotent; also safe without finish, e.g. on
-error). Offline determinism: a datagram-fed run with explicit
+error). A zero-packet stream still ends the engine's stream at
+``finish()`` — sink flush/finish barriers must run even when nothing
+arrived. Offline determinism: a datagram-fed run with explicit
 timestamps and ``flush_interval=None`` produces outcomes identical to
 ``process_trace`` over the same packets — the determinism test holds
 the driver to that.
@@ -38,7 +51,9 @@ from __future__ import annotations
 import asyncio
 import time
 
-from repro.ingest.metrics import IngestMetrics
+from repro.engine.types import EngineClosedError
+from repro.ingest.metrics import IngestMetrics, SupervisionMetrics
+from repro.ingest.supervise import ErrorPolicy
 from repro.net.packet import Packet
 
 __all__ = ["AsyncIngestDriver", "DatagramIngestProtocol"]
@@ -82,6 +97,7 @@ class AsyncIngestDriver:
         *,
         max_inflight: int = 1024,
         flush_interval: "float | None" = 1.0,
+        on_error: "ErrorPolicy | str | None" = None,
         clock=time.monotonic,
         registry=None,
     ) -> None:
@@ -97,8 +113,11 @@ class AsyncIngestDriver:
         self.engine = engine
         self.max_inflight = max_inflight
         self.flush_interval = flush_interval
+        self.error_policy = ErrorPolicy.coerce(on_error)
         self.dispatched = 0
         self.dropped = 0
+        self.post_error_drops = 0
+        self.tick_errors = 0
         self.stats = _DriverStats()
         self._synced_stats: dict = {}
         self._clock = clock
@@ -114,9 +133,14 @@ class AsyncIngestDriver:
             metrics = IngestMetrics(registry, source="async-driver")
             self._metrics = metrics
             self._inflight = metrics.inflight_gauge()
+            self._supervision = SupervisionMetrics(
+                registry, source="async-driver"
+            )
+            self.error_policy.bind_metrics(self._supervision)
         else:
             self._metrics = None
             self._inflight = None
+            self._supervision = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -222,11 +246,17 @@ class AsyncIngestDriver:
             await self.feed(packet)
             await asyncio.sleep(0)
 
-    async def finish(self):
+    async def finish(self, final_ts: "float | None" = None):
         """Drain in-flight packets, end the engine's stream, return stats.
 
         Idempotent per stream: a second ``finish`` with no packets in
         between returns the same stats without re-draining the engine.
+
+        A zero-packet stream still ends the engine's stream — attached
+        sinks flush, finish barriers run — using ``final_ts`` as the
+        stream epoch (0.0 when omitted). Once packets have been
+        dispatched, the last dispatched timestamp is the epoch and
+        ``final_ts`` is ignored.
         """
         self._check_alive()
         self.start()
@@ -234,8 +264,14 @@ class AsyncIngestDriver:
         if self._pump_error is not None:
             error, self._pump_error = self._pump_error, None
             raise error
-        if not self._finished and self._last_ts is not None:
-            self.engine.finish(self._last_ts)
+        if not self._finished:
+            if self._last_ts is not None:
+                epoch = self._last_ts
+            elif final_ts is not None:
+                epoch = final_ts
+            else:
+                epoch = 0.0
+            self.engine.finish(epoch)
             self._finished = True
         return self.engine.stats
 
@@ -276,24 +312,41 @@ class AsyncIngestDriver:
         ingress queues — that stall is the backpressure path, and it
         happens here so the whole driver (and its producers, once the
         in-flight queue fills) slows to the engine's pace.
+
+        Dispatch errors route through :attr:`error_policy`. A fatal one
+        (fail-fast, or an exhausted dead-letter callback) is recorded
+        once — the *first* error is the one ``finish()`` raises — and
+        dispatch stops: later packets drain as counted drops
+        (:attr:`post_error_drops`) instead of being fed into a broken
+        engine, while producers stay unblocked.
         """
         queue = self._queue
         engine = self.engine
         while True:
             packet = await queue.get()
             try:
-                engine.process_packet(packet)
-                self.dispatched += 1
-                self._finished = False
-                self._last_ts = packet.timestamp
-                if self._clock_offset is None:
-                    self._clock_offset = self._clock() - packet.timestamp
-            except BaseException as exc:
-                if isinstance(exc, asyncio.CancelledError):
-                    raise
-                # Surface at the next finish(); a dead pump must not
-                # hang producers on a forever-full queue.
-                self._pump_error = exc
+                if self._pump_error is not None:
+                    self.post_error_drops += 1
+                    continue
+                try:
+                    engine.process_packet(packet)
+                except BaseException as exc:
+                    if isinstance(exc, asyncio.CancelledError):
+                        raise
+                    if not isinstance(
+                        exc, EngineClosedError
+                    ) and self.error_policy.absorb(exc, packet):
+                        continue  # degraded: counted, stream stays alive
+                    # Surface at the next finish(); a dead pump must not
+                    # hang producers on a forever-full queue.
+                    self._pump_error = exc
+                    self.post_error_drops += 1
+                else:
+                    self.dispatched += 1
+                    self._finished = False
+                    self._last_ts = packet.timestamp
+                    if self._clock_offset is None:
+                        self._clock_offset = self._clock() - packet.timestamp
             finally:
                 queue.task_done()
                 self._observe_depth()
@@ -308,16 +361,37 @@ class AsyncIngestDriver:
         """
         while True:
             await asyncio.sleep(self.flush_interval)
-            if self._clock_offset is None or self._finished:
-                continue
-            now = self._clock() - self._clock_offset
-            if self._last_ts is not None and now < self._last_ts:
-                now = self._last_ts
-            try:
-                self.engine.flush_timeouts(now)
-            except Exception as exc:
-                self._pump_error = exc
+            if not self._tick_once():
                 return
+
+    def _tick_once(self) -> bool:
+        """Run one flush tick; False means ticking must stop.
+
+        ``flush_timeouts`` failures are counted (:attr:`tick_errors`)
+        and routed through :attr:`error_policy`: degrade/dead-letter
+        keep the tick alive (the next tick retries), fail-fast records
+        the error for ``finish()`` — never overwriting an earlier pump
+        error — and disables further ticks.
+        """
+        if self._clock_offset is None or self._finished:
+            return True
+        now = self._clock() - self._clock_offset
+        if self._last_ts is not None and now < self._last_ts:
+            now = self._last_ts
+        try:
+            self.engine.flush_timeouts(now)
+        except Exception as exc:
+            self.tick_errors += 1
+            if self._supervision is not None:
+                self._supervision.tick_errors.inc()
+            if not isinstance(
+                exc, EngineClosedError
+            ) and self.error_policy.absorb(exc, None):
+                return True
+            if self._pump_error is None:
+                self._pump_error = exc
+            return False
+        return True
 
 
 class _DriverStats:

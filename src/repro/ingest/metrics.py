@@ -17,6 +17,22 @@ scrape alongside the engine's own instruments:
 * ``ingest_lag_seconds`` — how far behind its wall-clock schedule a
   :class:`~repro.ingest.sources.ReplaySource` delivered each packet.
 
+The supervision layer (:mod:`repro.ingest.supervise`) adds a second
+bundle, :class:`SupervisionMetrics`, covering the fault paths:
+
+* ``ingest_restarts_total`` — inner-source restarts performed by a
+  :class:`~repro.ingest.supervise.SupervisedSource`;
+* ``ingest_retry_backoff_seconds`` — the backoff scheduled before each
+  restart (histogram over :data:`repro.obs.DEFAULT_BACKOFF_BUCKETS`);
+* ``ingest_consecutive_failures`` — current consecutive-failure streak
+  (gauge; resets to 0 on the first successful delivery);
+* ``ingest_dispatch_errors_total`` — per-packet dispatch errors absorbed
+  by a degrade/dead-letter :class:`~repro.ingest.supervise.ErrorPolicy`;
+* ``ingest_dead_letters_total`` — packets handed to a dead-letter
+  callback instead of the engine;
+* ``ingest_flush_tick_errors_total`` — wall-clock flush ticks that
+  raised inside ``engine.flush_timeouts`` (retried under the policy).
+
 File-backed sources level their counters from decode stats inside the
 iteration loop (plain int adds); the gauge and histogram are created on
 demand so sources that never replay or queue do not register them.
@@ -24,7 +40,9 @@ demand so sources that never replay or queue do not register them.
 
 from __future__ import annotations
 
-__all__ = ["INGEST_LAG_BUCKETS", "IngestMetrics"]
+from repro.obs import DEFAULT_BACKOFF_BUCKETS
+
+__all__ = ["INGEST_LAG_BUCKETS", "IngestMetrics", "SupervisionMetrics"]
 
 #: Buckets for the replay-lag histogram: from scheduler-noise microseconds
 #: up to multi-second stalls (a replay that cannot keep pace).
@@ -112,3 +130,58 @@ class IngestMetrics:
             current = getattr(stats, attribute)
             counter.inc(current - synced.get(attribute, 0))
             synced[attribute] = current
+
+
+class SupervisionMetrics:
+    """Fault-path instruments for one supervised source or driver."""
+
+    __slots__ = (
+        "registry",
+        "source",
+        "restarts",
+        "backoff",
+        "consecutive_failures",
+        "dispatch_errors",
+        "dead_letters",
+        "tick_errors",
+    )
+
+    def __init__(self, registry, source: str) -> None:
+        self.registry = registry
+        self.source = source
+        self.restarts = registry.counter(
+            "ingest_restarts_total",
+            help="Inner-source restarts performed by the supervisor after "
+            "a retryable failure",
+            source=source,
+        )
+        self.backoff = registry.histogram(
+            "ingest_retry_backoff_seconds",
+            buckets=DEFAULT_BACKOFF_BUCKETS,
+            help="Backoff delay scheduled before each supervised restart",
+            source=source,
+        )
+        self.consecutive_failures = registry.gauge(
+            "ingest_consecutive_failures",
+            help="Current consecutive-failure streak of the supervised "
+            "source (0 after a successful delivery)",
+            source=source,
+        )
+        self.dispatch_errors = registry.counter(
+            "ingest_dispatch_errors_total",
+            help="Per-packet dispatch errors absorbed by a degrade or "
+            "dead-letter error policy",
+            source=source,
+        )
+        self.dead_letters = registry.counter(
+            "ingest_dead_letters_total",
+            help="Packets handed to a dead-letter callback instead of "
+            "the engine",
+            source=source,
+        )
+        self.tick_errors = registry.counter(
+            "ingest_flush_tick_errors_total",
+            help="Wall-clock flush ticks that raised inside "
+            "engine.flush_timeouts",
+            source=source,
+        )

@@ -79,9 +79,12 @@ class PcapFileSource(_BaseSource):
     Decodes one record at a time — memory stays O(record), not
     O(capture) — and exposes decode accounting on :attr:`stats`
     (truncated records, skipped non-IPv4 frames, bytes consumed). Each
-    ``iter()`` starts a fresh pass over the file; :meth:`close` ends
-    the active pass. Yields exactly the packets ``read_pcap`` would
-    return, in the same order.
+    ``iter()`` starts a fresh pass over the file with fresh per-pass
+    :attr:`stats` (multi-pass reads never mix passes; the registry
+    counters stay cumulative across passes). :meth:`close` is
+    **terminal**: it ends the active pass and every later pass yields
+    nothing — build a new source to re-read a closed file. Yields
+    exactly the packets ``read_pcap`` would return, in the same order.
     """
 
     def __init__(self, path: "str | Path", *, registry=None) -> None:
@@ -99,6 +102,11 @@ class PcapFileSource(_BaseSource):
     def __iter__(self) -> Iterator[Packet]:
         if self._closed:
             return
+        # Fresh per-pass accounting: `stats` always describes the pass
+        # being (or last) iterated. The metrics sync map resets with it,
+        # so the registry counters keep accumulating monotonically.
+        self.stats = PcapDecodeStats()
+        self._synced = {}
         records = iter_pcap(self.path, stats=self.stats)
         self._active = records
         try:
@@ -156,7 +164,10 @@ class ReplaySource(_BaseSource):
     packet is ready *late* (the consumer was slow), the lag is recorded
     — on :attr:`max_lag_s` always, and in the ``ingest_lag_seconds``
     histogram when a registry is bound — and delivery continues without
-    trying to "catch up" by dropping.
+    trying to "catch up" by dropping. :attr:`max_lag_s` is per pass:
+    each ``iter()`` re-anchors the replay epoch and resets it, so
+    multi-pass replays never mix lag from earlier passes (the histogram
+    accumulates across passes).
 
     ``clock``/``sleep`` are injectable for deterministic tests.
     """
@@ -184,6 +195,7 @@ class ReplaySource(_BaseSource):
         )
 
     def __iter__(self) -> Iterator[Packet]:
+        self.max_lag_s = 0.0
         epoch_wall: "float | None" = None
         epoch_ts = 0.0
         for packet in self.source:
@@ -225,6 +237,14 @@ class SocketSource(_BaseSource):
     Arriving packets are stamped with ``timestamp()`` (default
     ``time.time``) — live capture has no capture-file clock, so the
     arrival wall clock *is* the packet clock.
+
+    Socket ownership is explicit. With ``own_socket=True`` (the
+    default, and always the case for :meth:`bind_udp`) the socket is
+    transferred to the source: :meth:`close` closes it. With
+    ``own_socket=False`` the socket is *borrowed*: the source still
+    retunes its timeout to the poll interval while iterating, but
+    :meth:`close` restores the timeout the socket arrived with and
+    leaves it open — wrapping a shared socket is non-destructive.
     """
 
     #: Internal recv timeout: a blocked recv wakes this often to notice
@@ -240,6 +260,7 @@ class SocketSource(_BaseSource):
         timestamp=time.time,
         max_datagram: int = 65535,
         idle_timeout: "float | None" = None,
+        own_socket: bool = True,
         registry=None,
     ) -> None:
         if idle_timeout is not None and idle_timeout <= 0:
@@ -251,6 +272,8 @@ class SocketSource(_BaseSource):
         self._timestamp = timestamp
         self._max_datagram = max_datagram
         self._idle_timeout = idle_timeout
+        self._own_socket = own_socket
+        self._prior_timeout = sock.gettimeout()
         self._closed = False
         self._metrics = (
             IngestMetrics(registry, source="socket") if registry is not None
@@ -321,11 +344,20 @@ class SocketSource(_BaseSource):
             self._metrics.observe_decode(self.stats, self._synced)
 
     def close(self) -> None:
-        """Close the socket; a blocked ``recv`` unblocks and iteration ends."""
+        """End iteration; close an owned socket, restore a borrowed one.
+
+        Owned sockets (the default) are closed — a blocked ``recv``
+        unblocks at the next poll tick at the latest. Borrowed sockets
+        (``own_socket=False``) are left open with the timeout they
+        arrived with restored, so the caller can keep using them.
+        """
         if self._closed:
             return
         self._closed = True
         try:
-            self.sock.close()
+            if self._own_socket:
+                self.sock.close()
+            else:
+                self.sock.settimeout(self._prior_timeout)
         except OSError:
             pass

@@ -247,3 +247,230 @@ class TestFlushTick:
                 await driver.close()
 
         asyncio.run(run())
+
+
+# -- fault paths (driven by the scripted harness in faults.py) ----------------
+
+from types import SimpleNamespace
+
+from repro.engine import EngineClosedError
+from repro.obs import MetricsRegistry as _Registry
+from tests.ingest.faults import FlakyEngine
+
+
+def _pkt(i: int):
+    """The pump only reads ``.timestamp``; a stub packet is enough."""
+    return SimpleNamespace(timestamp=float(i))
+
+
+class TestPumpErrorPolicy:
+    def test_fail_fast_preserves_first_error_and_counts_drops(self):
+        boom = RuntimeError("engine broke")
+        engine = FlakyEngine(fail_at={1: boom})
+
+        async def run():
+            driver = AsyncIngestDriver(engine, flush_interval=None)
+            packets = [_pkt(i) for i in range(5)]
+            for packet in packets:
+                await driver.feed(packet)
+            with pytest.raises(RuntimeError) as exc_info:
+                await driver.finish()
+            # The FIRST error surfaces, dispatch stopped at it, and every
+            # later queued packet drained as a counted drop.
+            assert exc_info.value is boom
+            assert engine.calls == 2          # p0 ok, p1 raised, p2-4 never
+            assert engine.processed == [packets[0]]
+            assert driver.dispatched == 1
+            assert driver.post_error_drops == 4
+            # The pump survives: the stream resumes after the error is
+            # reported, instead of hanging producers forever.
+            await driver.feed(_pkt(5))
+            stats = await driver.finish()
+            assert stats is engine.stats
+            assert engine.calls == 3
+            assert driver.post_error_drops == 4
+            await driver.close()
+
+        asyncio.run(run())
+
+    def test_degrade_keeps_dispatching(self):
+        engine = FlakyEngine(
+            fail_at={1: ValueError("bad"), 3: ValueError("bad")}
+        )
+
+        async def run():
+            driver = AsyncIngestDriver(
+                engine, flush_interval=None, on_error="degrade"
+            )
+            for i in range(5):
+                await driver.feed(_pkt(i))
+            stats = await driver.finish()
+            assert stats is engine.stats
+            assert engine.calls == 5
+            assert driver.dispatched == 3
+            assert driver.error_policy.errors == 2
+            assert driver.post_error_drops == 0
+            assert engine.finishes == [4.0]
+            await driver.close()
+
+        asyncio.run(run())
+
+    def test_dead_letter_callback_receives_packets(self):
+        boom = ValueError("bad")
+        engine = FlakyEngine(fail_at={2: boom})
+        letters = []
+
+        async def run():
+            from repro.ingest import ErrorPolicy
+
+            driver = AsyncIngestDriver(
+                engine,
+                flush_interval=None,
+                on_error=ErrorPolicy(
+                    "dead-letter",
+                    dead_letter=lambda p, e: letters.append((p, e)),
+                ),
+            )
+            packets = [_pkt(i) for i in range(4)]
+            for packet in packets:
+                await driver.feed(packet)
+            await driver.finish()
+            assert letters == [(packets[2], boom)]
+            assert driver.error_policy.dead_lettered == 1
+            await driver.close()
+
+        asyncio.run(run())
+
+    def test_engine_closed_error_is_never_absorbed(self):
+        engine = FlakyEngine(fail_at={0: EngineClosedError("closed")})
+
+        async def run():
+            driver = AsyncIngestDriver(
+                engine, flush_interval=None, on_error="degrade"
+            )
+            await driver.feed(_pkt(0))
+            with pytest.raises(EngineClosedError):
+                await driver.finish()
+            assert driver.error_policy.errors == 0
+            await driver.close()
+
+        asyncio.run(run())
+
+
+class TestEmptyStreamFinish:
+    def test_zero_packet_finish_still_ends_the_stream(self):
+        engine = FlakyEngine()
+
+        async def run():
+            driver = AsyncIngestDriver(engine, flush_interval=None)
+            await driver.finish()
+            assert engine.finishes == [0.0]
+            await driver.finish()  # idempotent: no second drain
+            assert engine.finishes == [0.0]
+            await driver.close()
+
+        asyncio.run(run())
+
+    def test_zero_packet_finish_uses_caller_epoch(self):
+        engine = FlakyEngine()
+
+        async def run():
+            driver = AsyncIngestDriver(engine, flush_interval=None)
+            await driver.finish(final_ts=42.5)
+            assert engine.finishes == [42.5]
+            await driver.close()
+
+        asyncio.run(run())
+
+    def test_final_ts_ignored_once_packets_dispatched(self):
+        engine = FlakyEngine()
+
+        async def run():
+            driver = AsyncIngestDriver(engine, flush_interval=None)
+            await driver.feed(_pkt(7))
+            await driver.finish(final_ts=99.0)
+            assert engine.finishes == [7.0]
+            await driver.close()
+
+        asyncio.run(run())
+
+    def test_zero_packet_finish_with_real_engine(self, trained_cart):
+        async def run():
+            with open_engine(trained_cart) as engine:
+                driver = AsyncIngestDriver(engine, flush_interval=None)
+                stats = await driver.finish()
+                assert stats.packets == 0
+                await driver.close()
+
+        asyncio.run(run())
+
+
+class TestTickErrors:
+    """The tick path is synchronous (`_tick_once`), so no loop is needed."""
+
+    def _driver(self, engine, **kwargs):
+        driver = AsyncIngestDriver(engine, flush_interval=None, **kwargs)
+        # Simulate "first packet dispatched at ts=1.0, wall anchor 0".
+        driver._clock_offset = 0.0
+        driver._last_ts = 1.0
+        return driver
+
+    def test_tick_skips_before_first_packet(self):
+        engine = FlakyEngine()
+        driver = AsyncIngestDriver(
+            engine, flush_interval=None, clock=lambda: 100.0
+        )
+        assert driver._tick_once() is True
+        assert engine.flush_calls == 0
+
+    def test_tick_flushes_on_estimated_packet_clock(self):
+        engine = FlakyEngine()
+        driver = self._driver(engine, clock=lambda: 50.0)
+        assert driver._tick_once() is True
+        assert engine.flushes == [50.0]
+
+    def test_tick_clamps_to_packet_clock(self):
+        engine = FlakyEngine()
+        driver = self._driver(engine, clock=lambda: 10.0)
+        driver._last_ts = 20.0  # replay ran ahead of the wall clock
+        assert driver._tick_once() is True
+        assert engine.flushes == [20.0]
+
+    def test_fail_fast_tick_records_error_and_stops(self):
+        boom = RuntimeError("flush broke")
+        registry = _Registry()
+        engine = FlakyEngine(flush_script=[boom])
+        driver = self._driver(engine, clock=lambda: 5.0, registry=registry)
+        assert driver._tick_once() is False
+        assert driver.tick_errors == 1
+        assert driver._pump_error is boom
+        counter = registry.counter(
+            "ingest_flush_tick_errors_total", source="async-driver"
+        )
+        assert counter.value == 1
+
+    def test_tick_never_overwrites_an_earlier_pump_error(self):
+        first = ValueError("the real first error")
+        engine = FlakyEngine(flush_script=[RuntimeError("later")])
+        driver = self._driver(engine, clock=lambda: 5.0)
+        driver._pump_error = first
+        assert driver._tick_once() is False
+        assert driver._pump_error is first
+
+    def test_degrade_tick_survives_and_retries(self):
+        engine = FlakyEngine(flush_script=[RuntimeError("once"), None])
+        driver = self._driver(
+            engine, clock=lambda: 5.0, on_error="degrade"
+        )
+        assert driver._tick_once() is True   # error absorbed, tick lives
+        assert driver._tick_once() is True   # next tick succeeds
+        assert driver.tick_errors == 1
+        assert engine.flush_calls == 2
+        assert driver.error_policy.errors == 1
+        assert driver._pump_error is None
+
+    def test_engine_closed_tick_error_is_fatal(self):
+        engine = FlakyEngine(flush_script=[EngineClosedError("closed")])
+        driver = self._driver(engine, clock=lambda: 5.0, on_error="degrade")
+        assert driver._tick_once() is False
+        assert isinstance(driver._pump_error, EngineClosedError)

@@ -186,3 +186,82 @@ class TestSocketSource:
                 SocketSource(sock, idle_timeout=0)
         finally:
             sock.close()
+
+
+# -- per-pass state and socket ownership (issue regressions) ------------------
+
+from tests.ingest.faults import FlakySocket
+
+
+class TestMultiPassState:
+    def test_pcap_stats_are_per_pass_counters_cumulative(self, tmp_path):
+        path = tmp_path / "multi.pcap"
+        write_pcap(path, [_packet(i) for i in range(5)])
+        registry = MetricsRegistry()
+        source = PcapFileSource(path, registry=registry)
+        assert len(list(source)) == 5
+        assert source.stats.packets == 5
+        # A second pass gets fresh per-pass stats (not 10 = both passes
+        # mixed), while the registry counter stays cumulative.
+        assert len(list(source)) == 5
+        assert source.stats.packets == 5
+        assert source.stats.records == 5
+        counter = registry.counter(
+            "ingest_packets_total", source=f"pcap:{path.name}"
+        )
+        assert counter.value == 10
+
+    def test_replay_max_lag_resets_per_pass(self):
+        packets = [_packet(i) for i in range(3)]
+        state = {"now": 0.0, "step": 2.0}
+
+        def clock() -> float:
+            state["now"] += state["step"]
+            return state["now"]
+
+        def sleep(seconds: float) -> None:
+            state["now"] += seconds
+
+        source = ReplaySource(packets, clock=clock, sleep=sleep)
+        # Pass 1: the clock jumps 2s per reading, so every 1s-apart
+        # packet is late and lag accrues.
+        assert list(source) == packets
+        assert source.max_lag_s > 0
+        # Pass 2: the clock only advances through sleep, so delivery is
+        # exactly on schedule — and the stale pass-1 lag must not leak.
+        state["step"] = 0.0
+        assert list(source) == packets
+        assert source.max_lag_s == 0.0
+
+
+class TestSocketOwnership:
+    def test_borrowed_socket_timeout_restored_on_close(self):
+        sock = FlakySocket([], timeout=7.5)
+        source = SocketSource(sock, own_socket=False)
+        # While iterating, the source retunes the timeout to its poll
+        # interval so a cross-thread close() is noticed.
+        assert sock.gettimeout() == SocketSource.POLL_INTERVAL
+        assert list(source) == []  # scripted datagrams exhausted: clean end
+        source.close()
+        assert not sock.closed
+        assert sock.gettimeout() == 7.5
+        assert sock.timeouts == [SocketSource.POLL_INTERVAL, 7.5]
+
+    def test_owned_socket_closed_on_close(self):
+        sock = FlakySocket([], timeout=7.5)
+        SocketSource(sock).close()
+        assert sock.closed
+
+    def test_scripted_socket_drives_decode_accounting(self):
+        good = [_packet(0), _packet(1)]
+        sock = FlakySocket(
+            [good[0].to_bytes(), b"\x00\x01garbage", good[1].to_bytes()]
+        )
+        source = SocketSource(sock, timestamp=lambda: 3.25)
+        received = list(source)
+        assert [p.five_tuple for p in received] == [
+            p.five_tuple for p in good
+        ]
+        assert all(p.timestamp == 3.25 for p in received)
+        assert source.stats.packets == 2
+        assert source.stats.decode_errors == 1
